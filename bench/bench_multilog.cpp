@@ -1,0 +1,94 @@
+// §5.1's final optimization: "it is possible to employ multiple log disks
+// to completely hide the disk re-positioning overhead from user
+// applications."
+//
+// Clustered synchronous writes with repositioning after every physical
+// write (the worst case for a single log disk: write -> reposition ->
+// write serializes). With k log disks, disk i repositions while disk
+// (i+1) services the next batch; by k = 2-3 the reposition disappears
+// from the critical path and latency approaches pure overhead + transfer.
+
+#include "harness.hpp"
+
+namespace trail::bench {
+namespace {
+
+struct Result {
+  double latency_ms;
+  double throughput_wps;  // acknowledged writes per second
+};
+
+Result run(int log_disk_count, std::uint32_t write_sectors, bool force_reposition) {
+  sim::Simulator simulator;
+  std::vector<std::unique_ptr<disk::DiskDevice>> logs;
+  std::vector<disk::DiskDevice*> raw;
+  for (int i = 0; i < log_disk_count; ++i) {
+    logs.push_back(std::make_unique<disk::DiskDevice>(simulator, disk::st41601n()));
+    core::format_log_disk(*logs.back());
+    raw.push_back(logs.back().get());
+  }
+  std::vector<std::unique_ptr<disk::DiskDevice>> data;
+  for (int i = 0; i < 3; ++i)
+    data.push_back(std::make_unique<disk::DiskDevice>(simulator, disk::wd_caviar_10g()));
+
+  core::TrailConfig config;
+  if (force_reposition) {
+    config.track_utilization_threshold = 0.0;
+    config.max_requests_per_physical = 1;
+  }
+  core::TrailDriver driver(simulator, raw, config);
+  std::vector<io::DeviceId> devices;
+  for (auto& d : data) devices.push_back(driver.add_data_disk(*d));
+  driver.mount();
+
+  SyncWriteWorkload::Params p;
+  p.write_sectors = write_sectors;
+  p.clustered = true;
+  p.writes_per_process = 250;
+  const sim::TimePoint t0 = simulator.now();
+  const auto lat = SyncWriteWorkload::run(simulator, driver, devices,
+                                          data[0]->geometry().total_sectors(), p);
+  const double wall_sec = (simulator.now() - t0).sec();
+  return Result{lat.mean(), (p.writes_per_process + p.warmup_per_process) / wall_sec};
+}
+
+}  // namespace
+}  // namespace trail::bench
+
+int main() {
+  using namespace trail::bench;
+  namespace sim = trail::sim;
+
+  print_heading(
+      "multiple log disks, clustered 1KB writes, reposition after EVERY write (worst case)");
+  {
+    sim::TablePrinter table(
+        {"log disks", "latency (ms)", "writes/sec", "speedup vs 1 disk"});
+    double base = 0;
+    for (const int k : {1, 2, 3, 4}) {
+      const Result r = run(k, 2, /*force_reposition=*/true);
+      if (k == 1) base = r.latency_ms;
+      table.add_row({sim::TablePrinter::fmt_int(k), sim::TablePrinter::fmt(r.latency_ms, 2),
+                     sim::TablePrinter::fmt(r.throughput_wps, 0),
+                     sim::TablePrinter::fmt(base / r.latency_ms, 2) + "x"});
+    }
+    table.print();
+    std::printf("(§5.1: one-sector write ~1.4 ms + ~1.5 ms reposition => ~3 ms on one\n"
+                " disk, 333 writes/sec; extra log disks take the reposition off the\n"
+                " critical path)\n");
+  }
+
+  print_heading("same sweep with the normal 30%% threshold and batching");
+  {
+    sim::TablePrinter table({"log disks", "latency (ms)", "writes/sec"});
+    for (const int k : {1, 2, 3}) {
+      const Result r = run(k, 2, /*force_reposition=*/false);
+      table.add_row({sim::TablePrinter::fmt_int(k), sim::TablePrinter::fmt(r.latency_ms, 2),
+                     sim::TablePrinter::fmt(r.throughput_wps, 0)});
+    }
+    table.print();
+    std::printf("(with batching + the 30%% threshold the reposition is already mostly\n"
+                " amortized, so extra disks help less — the paper's 'rarely triggered')\n");
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Shared benchmark scaffolding: canonical Trail / standard-driver stacks
+// on the paper's drive profiles, plus the synchronous-write workload
+// generator used by Fig. 3 / Table 1.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta_calibrator.hpp"
+#include "core/format_tool.hpp"
+#include "core/trail_driver.hpp"
+#include "disk/disk_device.hpp"
+#include "disk/profile.hpp"
+#include "io/standard_driver.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace trail::bench {
+
+/// The paper's hardware: one ST41601N log disk + N WD data disks.
+struct TrailStack {
+  sim::Simulator sim;
+  std::unique_ptr<disk::DiskDevice> log_disk;
+  std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
+  std::unique_ptr<core::TrailDriver> driver;
+  std::vector<io::DeviceId> devices;
+
+  explicit TrailStack(int data_disk_count = 3, core::TrailConfig config = {},
+                      disk::DiskProfile log_profile = disk::st41601n(),
+                      disk::DiskProfile data_profile = disk::wd_caviar_10g()) {
+    log_disk = std::make_unique<disk::DiskDevice>(sim, std::move(log_profile));
+    for (int i = 0; i < data_disk_count; ++i)
+      data_disks.push_back(std::make_unique<disk::DiskDevice>(sim, data_profile));
+    core::format_log_disk(*log_disk);
+    // Calibrate δ the way §3.1 does, then hand it to the driver.
+    if (config.delta == sim::Duration{0}) {
+      const auto calib = core::DeltaCalibrator::run(sim, *log_disk, /*probe_track=*/1);
+      config.delta = calib.delta_time;
+    }
+    driver = std::make_unique<core::TrailDriver>(sim, *log_disk, config);
+    for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
+    driver->mount();
+  }
+};
+
+/// The baseline: data disks behind the standard elevator driver.
+struct StandardStack {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
+  std::unique_ptr<io::StandardDriver> driver;
+  std::vector<io::DeviceId> devices;
+
+  explicit StandardStack(int data_disk_count = 3,
+                         io::StandardDriver::Scheduling scheduling =
+                             io::StandardDriver::Scheduling::kClook,
+                         disk::DiskProfile data_profile = disk::wd_caviar_10g()) {
+    driver = std::make_unique<io::StandardDriver>(scheduling);
+    for (int i = 0; i < data_disk_count; ++i) {
+      data_disks.push_back(std::make_unique<disk::DiskDevice>(sim, data_profile));
+      devices.push_back(driver->add_device(*data_disks.back()));
+    }
+  }
+};
+
+/// §5.1's workload: processes issuing random-target synchronous writes.
+/// In clustered mode the next request follows the previous completion
+/// immediately; in sparse mode it arrives after `sparse_gap` (> the
+/// repositioning overhead, 1.5 ms typical).
+struct SyncWriteWorkload {
+  struct Params {
+    std::uint32_t processes = 1;
+    std::uint32_t write_sectors = 2;  // 1 KB
+    bool clustered = true;
+    sim::Duration sparse_gap = sim::millis(5);
+    std::uint32_t writes_per_process = 200;
+    std::uint32_t warmup_per_process = 20;
+    std::uint64_t seed = 42;
+  };
+
+  /// Runs to completion; returns per-write latency stats (ms).
+  static sim::Summary run(sim::Simulator& sim, io::BlockDriver& driver,
+                          const std::vector<io::DeviceId>& devices, disk::Lba device_sectors,
+                          const Params& p) {
+    auto latencies = std::make_shared<sim::Summary>();
+    auto remaining = std::make_shared<std::uint32_t>(p.processes);
+    sim::Rng seeder(p.seed);
+
+    for (std::uint32_t proc = 0; proc < p.processes; ++proc) {
+      struct Proc {
+        sim::Rng rng;
+        std::uint32_t issued = 0;
+        std::vector<std::byte> data;
+        std::function<void()> next;
+      };
+      auto st = std::make_shared<Proc>();
+      st->rng = seeder.split();
+      st->data.assign(static_cast<std::size_t>(p.write_sectors) * disk::kSectorSize,
+                      std::byte{0x5A});
+      st->next = [st, &sim, &driver, &devices, device_sectors, p, latencies, remaining] {
+        if (st->issued >= p.writes_per_process + p.warmup_per_process) {
+          st->next = nullptr;  // we run as a copy; breaking the cycle is safe
+          --*remaining;
+          return;
+        }
+        const bool measured = st->issued >= p.warmup_per_process;
+        ++st->issued;
+        const auto dev = devices[static_cast<std::size_t>(
+            st->rng.uniform(0, static_cast<std::int64_t>(devices.size()) - 1))];
+        const auto lba = static_cast<disk::Lba>(st->rng.uniform(
+            0, static_cast<std::int64_t>(device_sectors - p.write_sectors - 1)));
+        const sim::TimePoint t0 = sim.now();
+        driver.submit_write(
+            io::BlockAddr{dev, lba}, p.write_sectors, st->data,
+            [st, &sim, p, latencies, measured, t0] {
+              if (measured) latencies->add(sim.now() - t0);
+              if (!st->next) return;
+              if (p.clustered) {
+                auto go = st->next;
+                go();
+              } else {
+                sim.schedule(p.sparse_gap, [st] {
+                  if (st->next) {
+                    auto go = st->next;
+                    go();
+                  }
+                });
+              }
+            });
+      };
+      auto kick = st->next;
+      kick();
+    }
+    while (*remaining > 0) {
+      if (!sim.step()) throw std::runtime_error("SyncWriteWorkload: stalled");
+    }
+    return std::move(*latencies);
+  }
+};
+
+inline void print_heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace trail::bench

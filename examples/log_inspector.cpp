@@ -1,0 +1,114 @@
+// log_inspector: fsck.trail — builds a Trail deployment, runs a small
+// mixed workload, crashes it, and then walks the raw log disk with the
+// offline scanner: sector census, per-epoch record counts, utilization
+// histogram, chain verification, and a dump of the live records. A guided
+// tour of the self-describing on-disk format of §3.2.
+
+#include <cstdio>
+
+#include "core/format_tool.hpp"
+#include "core/log_scanner.hpp"
+#include "core/trail_driver.hpp"
+#include "disk/profile.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+using namespace trail;
+
+int main() {
+  sim::Simulator simulator;
+  disk::DiskDevice log_disk(simulator, disk::small_test_disk());
+  disk::DiskDevice data_disk(simulator, disk::wd_caviar_10g());
+  core::format_log_disk(log_disk);
+
+  // Session 1: clean workload + unmount.
+  {
+    core::TrailDriver driver(simulator, log_disk);
+    const io::DeviceId dev = driver.add_data_disk(data_disk);
+    driver.mount();
+    sim::Rng rng(1);
+    std::vector<std::byte> block(2 * disk::kSectorSize, std::byte{0x11});
+    for (int i = 0; i < 10; ++i) {
+      bool done = false;
+      driver.submit_write({dev, static_cast<disk::Lba>(rng.uniform(0, 5000)) * 2}, 2, block,
+                          [&] { done = true; });
+      while (!done) simulator.step();
+    }
+    driver.unmount();
+  }
+  // Session 2: workload that crashes with pending records.
+  auto driver = std::make_unique<core::TrailDriver>(simulator, log_disk);
+  const io::DeviceId dev = driver->add_data_disk(data_disk);
+  driver->mount();
+  data_disk.crash_halt();  // block write-back: records stay live
+  {
+    sim::Rng rng(2);
+    std::vector<std::byte> block(3 * disk::kSectorSize, std::byte{0x22});
+    for (int i = 0; i < 6; ++i) {
+      bool done = false;
+      driver->submit_write({dev, static_cast<disk::Lba>(rng.uniform(0, 5000)) * 4}, 3, block,
+                           [&] { done = true; });
+      while (!done) simulator.step();
+    }
+  }
+  driver->crash();
+  driver.reset();
+  std::printf("*** crashed with pending records; inspecting the raw log disk ***\n\n");
+
+  core::LogScanner scanner(log_disk);
+  const core::ScanReport report = scanner.scan();
+
+  std::printf("formatted          : %s (%d/3 header replicas intact)\n",
+              report.formatted ? "yes" : "NO", report.intact_header_replicas);
+  std::printf("disk header        : epoch=%u crash_var=%u resume_track=%u\n",
+              report.disk_header.epoch, report.disk_header.crash_var,
+              report.disk_header.resume_track);
+  std::printf("sector census      : %llu written (%llu record headers, %llu payload, "
+              "%llu other)\n",
+              static_cast<unsigned long long>(report.sectors_scanned),
+              static_cast<unsigned long long>(report.record_headers),
+              static_cast<unsigned long long>(report.payload_sectors),
+              static_cast<unsigned long long>(report.other_sectors));
+  for (const auto& [epoch, count] : report.records_per_epoch)
+    std::printf("  epoch %u: %llu records%s\n", epoch,
+                static_cast<unsigned long long>(count),
+                epoch == report.disk_header.epoch ? "   <- crashed epoch" : " (stale)");
+
+  std::printf("chain verification : %s",
+              report.chain_verified ? "OK" : report.chain_error.c_str());
+  std::printf(" (%u records on the live chain)\n", report.chain_length);
+
+  // Utilization histogram over tracks that carry current-epoch data.
+  int buckets[5] = {};
+  int touched = 0;
+  for (double u : report.track_utilization) {
+    if (u <= 0) continue;
+    ++touched;
+    ++buckets[std::min(4, static_cast<int>(u * 5))];
+  }
+  std::printf("track utilization  : %d tracks carry crashed-epoch records\n", touched);
+  const char* labels[5] = {"0-20%", "20-40%", "40-60%", "60-80%", "80-100%"};
+  for (int b = 0; b < 5; ++b) {
+    std::printf("  %-7s %3d |", labels[b], buckets[b]);
+    for (int i = 0; i < buckets[b]; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf("\nlive records (youngest first):\n");
+  auto records = scanner.records_of_epoch(report.disk_header.epoch);
+  for (auto it = records.rbegin(); it != records.rend(); ++it)
+    std::printf("%s", core::LogScanner::describe(*it).c_str());
+
+  // Boot a fresh driver: recovery replays the chain we just inspected.
+  std::printf("\n*** rebooting: recovery should find the same chain ***\n");
+  log_disk.restart();
+  data_disk.restart();
+  core::TrailDriver rebooted(simulator, log_disk);
+  (void)rebooted.add_data_disk(data_disk);
+  rebooted.mount();
+  std::printf("recovered %u records (%u track scans, %.1f ms locate)\n",
+              rebooted.last_recovery().records_found, rebooted.last_recovery().tracks_scanned,
+              rebooted.last_recovery().locate_time.ms());
+  rebooted.unmount();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest complete Trail program.
+//
+//  1. Build a simulated machine: one log disk (Seagate ST41601N profile)
+//     and one data disk behind the Trail driver.
+//  2. Format the log disk, calibrate δ, mount.
+//  3. Issue a few synchronous writes and watch them acknowledge at
+//     data-transfer speed instead of seek+rotation speed.
+//  4. Read the data back and shut down cleanly.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/delta_calibrator.hpp"
+#include "core/format_tool.hpp"
+#include "core/trail_driver.hpp"
+#include "disk/profile.hpp"
+#include "sim/simulator.hpp"
+
+using namespace trail;
+
+int main() {
+  sim::Simulator simulator;
+
+  // The hardware: a dedicated log disk plus a normal data disk.
+  disk::DiskDevice log_disk(simulator, disk::st41601n());
+  disk::DiskDevice data_disk(simulator, disk::wd_caviar_10g());
+
+  // mkfs.trail: stamp the log-disk header, geometry block and replicas.
+  core::format_log_disk(log_disk);
+
+  // Derive δ empirically, exactly as §3.1 of the paper does.
+  const auto calibration = core::DeltaCalibrator::run(simulator, log_disk, /*probe_track=*/1);
+  std::printf("calibrated delta: %u sectors (%.3f ms)\n", calibration.delta_sectors,
+              calibration.delta_time.ms());
+
+  // Assemble and mount the driver.
+  core::TrailConfig config;
+  config.delta = calibration.delta_time;
+  core::TrailDriver trail(simulator, log_disk, config);
+  const io::DeviceId disk0 = trail.add_data_disk(data_disk);
+  trail.mount();
+
+  // A few 4 KB synchronous writes to random-ish places. Each one would
+  // cost ~17 ms on a bare disk (seek + rotation); under Trail it
+  // acknowledges in ~2-3 ms (command overhead + transfer).
+  std::vector<std::byte> block(8 * disk::kSectorSize);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = std::byte(static_cast<unsigned char>(i * 131));
+
+  for (const disk::Lba lba : {1'000'000ull, 5'000ull, 9'000'000ull, 42ull}) {
+    const sim::TimePoint t0 = simulator.now();
+    bool done = false;
+    trail.submit_write(io::BlockAddr{disk0, lba}, 8, block, [&] { done = true; });
+    while (!done) simulator.step();
+    std::printf("4KB synchronous write at LBA %9llu acknowledged in %s\n",
+                static_cast<unsigned long long>(lba),
+                sim::to_string(simulator.now() - t0).c_str());
+  }
+
+  // Reads are served from the staging buffer (newest data) or data disk.
+  std::vector<std::byte> readback(block.size());
+  bool read_done = false;
+  trail.submit_read(io::BlockAddr{disk0, 42}, 8, readback, [&] { read_done = true; });
+  while (!read_done) simulator.step();
+  std::printf("read-back %s\n", readback == block ? "matches" : "MISMATCH!");
+
+  // Clean shutdown: drain write-back, stamp crash_var = 1.
+  trail.unmount();
+  std::printf("unmounted cleanly after %s of simulated time\n",
+              sim::to_string(simulator.now()).c_str());
+  std::printf("stats: %llu requests logged in %llu physical log writes, "
+              "%llu sectors written back\n",
+              static_cast<unsigned long long>(trail.stats().requests_logged),
+              static_cast<unsigned long long>(trail.stats().physical_log_writes),
+              static_cast<unsigned long long>(trail.stats().writeback_sectors));
+  return 0;
+}

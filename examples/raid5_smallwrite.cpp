@@ -1,0 +1,163 @@
+// raid5_smallwrite: the paper's §6 future-work item — "using track-based
+// logging to solve the small write problem in RAID-5 disk arrays".
+//
+// A RAID-5 small write needs read-old-data, read-old-parity, write-data,
+// write-parity. On bare disks the two synchronous writes each pay seek +
+// rotation; behind Trail both are acknowledged at log speed and trickle
+// to the array in the background, cutting the small-write penalty by the
+// write half's cost.
+//
+// The example implements a minimal left-symmetric RAID-5 layer over the
+// BlockDriver interface and measures the 4-I/O small-write cycle both ways.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/format_tool.hpp"
+#include "core/trail_driver.hpp"
+#include "disk/profile.hpp"
+#include "io/standard_driver.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+using namespace trail;
+
+namespace {
+
+/// Minimal RAID-5: stripes of (n-1) data chunks + 1 rotating parity chunk,
+/// chunk = 8 sectors. Only the small-write path is implemented.
+class Raid5 {
+ public:
+  static constexpr std::uint32_t kChunkSectors = 8;
+
+  Raid5(sim::Simulator& sim, io::BlockDriver& driver, std::vector<io::DeviceId> devices)
+      : sim_(sim), driver_(driver), devices_(std::move(devices)) {}
+
+  /// Overwrite one chunk at array-logical chunk number `chunk`, then call
+  /// done. Performs the classic read-modify-write parity update.
+  void small_write(std::uint64_t chunk, const std::vector<std::byte>& data,
+                   std::function<void()> done) {
+    const std::size_t n = devices_.size();
+    const std::uint64_t stripe = chunk / (n - 1);
+    const std::size_t parity_disk = stripe % n;  // left-symmetric rotation
+    std::size_t data_disk = chunk % (n - 1);
+    if (data_disk >= parity_disk) ++data_disk;
+    const disk::Lba lba = stripe * kChunkSectors;
+
+    struct Ctx {
+      std::vector<std::byte> old_data, old_parity, new_parity;
+      int reads_left = 2;
+      int writes_left = 2;
+      sim::TimePoint write_phase_start;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->old_data.resize(data.size());
+    ctx->old_parity.resize(data.size());
+
+    auto after_reads = [this, ctx, data, data_disk, parity_disk, lba,
+                        done = std::move(done)]() mutable {
+      // new_parity = old_parity XOR old_data XOR new_data.
+      ctx->new_parity.resize(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i)
+        ctx->new_parity[i] = ctx->old_parity[i] ^ ctx->old_data[i] ^ data[i];
+      ctx->write_phase_start = sim_.now();
+      auto write_done = [this, ctx, done = std::move(done)]() mutable {
+        if (--ctx->writes_left == 0) {
+          last_write_phase_ = sim_.now() - ctx->write_phase_start;
+          if (done) done();
+        }
+      };
+      driver_.submit_write(io::BlockAddr{devices_[data_disk], lba}, kChunkSectors, data,
+                           write_done);
+      driver_.submit_write(io::BlockAddr{devices_[parity_disk], lba}, kChunkSectors,
+                           ctx->new_parity, write_done);
+    };
+    auto read_done = [ctx, after_reads = std::move(after_reads)]() mutable {
+      if (--ctx->reads_left == 0) after_reads();
+    };
+    driver_.submit_read(io::BlockAddr{devices_[data_disk], lba}, kChunkSectors, ctx->old_data,
+                        read_done);
+    driver_.submit_read(io::BlockAddr{devices_[parity_disk], lba}, kChunkSectors,
+                        ctx->old_parity, read_done);
+  }
+
+  [[nodiscard]] sim::Duration last_write_phase() const { return last_write_phase_; }
+
+ private:
+  sim::Simulator& sim_;
+  io::BlockDriver& driver_;
+  std::vector<io::DeviceId> devices_;
+  sim::Duration last_write_phase_{};
+};
+
+struct RunResult {
+  double total_ms;
+  double write_phase_ms;
+};
+
+RunResult run(bool use_trail, int writes) {
+  sim::Simulator simulator;
+  std::vector<std::unique_ptr<disk::DiskDevice>> disks;
+  for (int i = 0; i < 4; ++i)
+    disks.push_back(std::make_unique<disk::DiskDevice>(simulator, disk::wd_caviar_10g()));
+  disk::DiskDevice log_disk(simulator, disk::st41601n());
+
+  std::unique_ptr<core::TrailDriver> trail_driver;
+  std::unique_ptr<io::StandardDriver> std_driver;
+  io::BlockDriver* block;
+  std::vector<io::DeviceId> devices;
+  if (use_trail) {
+    core::format_log_disk(log_disk);
+    trail_driver = std::make_unique<core::TrailDriver>(simulator, log_disk);
+    for (auto& d : disks) devices.push_back(trail_driver->add_data_disk(*d));
+    trail_driver->mount();
+    block = trail_driver.get();
+  } else {
+    std_driver = std::make_unique<io::StandardDriver>();
+    for (auto& d : disks) devices.push_back(std_driver->add_device(*d));
+    block = std_driver.get();
+  }
+
+  Raid5 raid(simulator, *block, devices);
+  sim::Rng rng(3);
+  std::vector<std::byte> chunk(Raid5::kChunkSectors * disk::kSectorSize, std::byte{0x3C});
+  const sim::TimePoint t0 = simulator.now();
+  double write_phase = 0;
+  for (int i = 0; i < writes; ++i) {
+    bool done = false;
+    raid.small_write(static_cast<std::uint64_t>(rng.uniform(0, 50'000)), chunk,
+                     [&done] { done = true; });
+    while (!done) simulator.step();
+    write_phase += raid.last_write_phase().ms();
+  }
+  const double ms = (simulator.now() - t0).ms() / writes;
+  if (trail_driver) {
+    bool drained = false;
+    trail_driver->drain([&] { drained = true; });
+    while (!drained) simulator.step();
+    trail_driver->unmount();
+  }
+  return RunResult{ms, write_phase / writes};
+}
+
+}  // namespace
+
+int main() {
+  const int writes = 100;
+  std::printf("RAID-5 (3+1, 4KB chunks) small-write latency, %d random writes:\n\n", writes);
+  const RunResult raw = run(false, writes);
+  std::printf("  bare disks : %.2f ms per small write (write phase %.2f ms)\n", raw.total_ms,
+              raw.write_phase_ms);
+  const RunResult trail_res = run(true, writes);
+  std::printf("  with Trail : %.2f ms per small write (write phase %.2f ms)\n",
+              trail_res.total_ms, trail_res.write_phase_ms);
+  std::printf("\nthe data+parity write phase shrinks %.1fx (%.2f -> %.2f ms); the\n"
+              "read-old-data/parity phase is untouched, so the end-to-end win is %.1fx.\n"
+              "(A production integration would log the parity update and defer the\n"
+              "reads to reconstruction time, as the paper's future work suggests.)\n",
+              raw.write_phase_ms / trail_res.write_phase_ms, raw.write_phase_ms,
+              trail_res.write_phase_ms, raw.total_ms / trail_res.total_ms);
+  return 0;
+}

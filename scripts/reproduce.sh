@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce every table and figure of the paper into results/.
+# Full-scale runs take a few minutes; set QUICK=1 for a fast pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ "${QUICK:-0}" == "1" ]]; then
+  export TRAIL_TPCC_SCALE=0.1 TRAIL_TPCC_TXNS=600 TRAIL_TPCC_WARMUP=300 TRAIL_FIG4_PREFILL=4000
+fi
+
+mkdir -p results
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "== $name =="
+  "$b" | tee "results/$name.txt"
+done
+echo "done: see results/ and EXPERIMENTS.md"

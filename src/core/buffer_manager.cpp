@@ -1,0 +1,138 @@
+#include "core/buffer_manager.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace trail::core {
+
+BufferManager::BufferManager(RecordDurableFn on_record_durable)
+    : on_record_durable_(std::move(on_record_durable)) {
+  if (!on_record_durable_)
+    throw std::invalid_argument("BufferManager: record-durable callback required");
+}
+
+void BufferManager::register_write(RecordId record, io::DeviceId dev, disk::Lba lba,
+                                   std::span<const std::byte> data) {
+  if (data.size() % disk::kSectorSize != 0 || data.empty())
+    throw std::invalid_argument("BufferManager::register_write: not a sector multiple");
+  const auto count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectorState& st = sectors_[Key{dev.index(), lba + i}];
+    std::memcpy(st.data.data(), data.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+                disk::kSectorSize);
+    st.version = next_version_++;
+    st.waiters.push_back(Waiter{record, st.version});
+  }
+  pending_[record] += count;
+  if (pinned_bytes() > high_water_) high_water_ = pinned_bytes();
+}
+
+bool BufferManager::covers(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const {
+  for (std::uint32_t i = 0; i < count; ++i)
+    if (!sectors_.contains(Key{dev.index(), lba + i})) return false;
+  return true;
+}
+
+bool BufferManager::covers_any(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const {
+  for (std::uint32_t i = 0; i < count; ++i)
+    if (sectors_.contains(Key{dev.index(), lba + i})) return true;
+  return false;
+}
+
+void BufferManager::overlay(io::DeviceId dev, disk::Lba lba, std::uint32_t count,
+                            std::span<std::byte> buf) const {
+  if (buf.size() < static_cast<std::size_t>(count) * disk::kSectorSize)
+    throw std::invalid_argument("BufferManager::overlay: buffer too small");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = sectors_.find(Key{dev.index(), lba + i});
+    if (it != sectors_.end())
+      std::memcpy(buf.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+                  it->second.data.data(), disk::kSectorSize);
+  }
+}
+
+BufferManager::Image BufferManager::snapshot(io::DeviceId dev, disk::Lba lba,
+                                             std::uint32_t count) const {
+  Image img;
+  img.data.resize(static_cast<std::size_t>(count) * disk::kSectorSize);
+  img.versions.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = sectors_.find(Key{dev.index(), lba + i});
+    if (it == sectors_.end())
+      throw std::logic_error("BufferManager::snapshot: sector not pinned");
+    std::memcpy(img.data.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+                it->second.data.data(), disk::kSectorSize);
+    img.versions[i] = it->second.version;
+  }
+  return img;
+}
+
+void BufferManager::mark_durable(io::DeviceId dev, disk::Lba lba,
+                                 std::span<const std::uint64_t> versions) {
+  std::vector<RecordId> settled;
+  for (std::uint32_t i = 0; i < versions.size(); ++i) {
+    auto it = sectors_.find(Key{dev.index(), lba + i});
+    if (it == sectors_.end()) continue;  // already released by a newer write-back
+    SectorState& st = it->second;
+    if (versions[i] > st.durable_version) st.durable_version = versions[i];
+    // Release every waiter whose logged version is now durable.
+    auto& ws = st.waiters;
+    for (std::size_t w = 0; w < ws.size();) {
+      if (ws[w].version <= st.durable_version) {
+        auto pit = pending_.find(ws[w].record);
+        if (pit == pending_.end() || pit->second == 0)
+          throw std::logic_error("BufferManager: waiter for settled record");
+        if (--pit->second == 0) {
+          pending_.erase(pit);
+          settled.push_back(ws[w].record);
+        }
+        ws[w] = ws.back();
+        ws.pop_back();
+      } else {
+        ++w;
+      }
+    }
+    // Unpin once nothing newer is outstanding and nobody waits.
+    if (ws.empty() && st.durable_version >= st.version && st.cover_pins == 0) sectors_.erase(it);
+  }
+  for (RecordId r : settled) on_record_durable_(r);
+}
+
+bool BufferManager::range_settled(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = sectors_.find(Key{dev.index(), lba + i});
+    if (it == sectors_.end()) continue;  // fully released earlier: durable
+    if (it->second.durable_version < it->second.version) return false;
+  }
+  return true;
+}
+
+void BufferManager::pin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = sectors_.find(Key{dev.index(), lba + i});
+    if (it == sectors_.end())
+      throw std::logic_error("BufferManager::pin_range: sector not resident");
+    ++it->second.cover_pins;
+  }
+}
+
+void BufferManager::unpin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Key key{dev.index(), lba + i};
+    auto it = sectors_.find(key);
+    if (it == sectors_.end() || it->second.cover_pins == 0)
+      throw std::logic_error("BufferManager::unpin_range: sector not pinned");
+    --it->second.cover_pins;
+    maybe_release(key);
+  }
+}
+
+void BufferManager::maybe_release(const Key& key) {
+  auto it = sectors_.find(key);
+  if (it == sectors_.end()) return;
+  const SectorState& st = it->second;
+  if (st.waiters.empty() && st.durable_version >= st.version && st.cover_pins == 0)
+    sectors_.erase(it);
+}
+
+}  // namespace trail::core

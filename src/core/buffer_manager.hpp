@@ -1,0 +1,126 @@
+// Trail's staging-buffer bookkeeping (§4.2).
+//
+// Every data block written to the log disk is pinned in host memory until
+// a write-back carrying content at least as new reaches the data disk.
+// The manager works at sector granularity so overlapping requests of any
+// alignment compose correctly:
+//
+//  * register_write  — a request's sectors were logged; bump each sector's
+//    version and attach the owning write record as a waiter.
+//  * snapshot        — the write-back engine asks, at *dispatch* time, for
+//    the latest content of a range (this is how "only one request for the
+//    buffer is kept in the queue and other write requests to the same
+//    buffer are skipped": later versions ride the first dispatch).
+//  * mark_durable    — sectors hit the data disk at given versions; every
+//    waiter whose version is covered is released, and when a record's
+//    last sector is covered the record-durable callback fires so the
+//    driver can free its log track ("one or multiple log disk tracks that
+//    share the same source buffer page may be reclaimed simultaneously").
+//
+// The paper's cancellation rule (a write-back is dropped when its source
+// buffer changed since logging) appears here as record_settled(): a
+// queued write-back whose record was already satisfied by a newer
+// dispatch is skipped at dispatch time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/types.hpp"
+#include "io/block.hpp"
+
+namespace trail::core {
+
+using RecordId = std::uint64_t;
+
+class BufferManager {
+ public:
+  using RecordDurableFn = std::function<void(RecordId)>;
+
+  /// `on_record_durable` fires when the last pending sector of a record
+  /// becomes durable on the data disks.
+  explicit BufferManager(RecordDurableFn on_record_durable);
+
+  /// Pin a logged request's content under `record`. `data` holds
+  /// count*512 bytes of the *unescaped* (original) block content.
+  void register_write(RecordId record, io::DeviceId dev, disk::Lba lba,
+                      std::span<const std::byte> data);
+
+  /// True if every sector of the range is pinned (read served from memory).
+  [[nodiscard]] bool covers(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const;
+  /// True if at least one sector of the range is pinned.
+  [[nodiscard]] bool covers_any(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const;
+  /// Copy pinned sectors of the range over `buf` (other sectors untouched).
+  void overlay(io::DeviceId dev, disk::Lba lba, std::uint32_t count,
+               std::span<std::byte> buf) const;
+
+  /// Latest pinned content + per-sector versions for a write-back dispatch.
+  /// Every sector must be pinned (guaranteed while the owning record is
+  /// unsettled).
+  struct Image {
+    std::vector<std::byte> data;
+    std::vector<std::uint64_t> versions;
+  };
+  [[nodiscard]] Image snapshot(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const;
+
+  /// A write-back of the range completed on the data disk carrying the
+  /// given per-sector versions.
+  void mark_durable(io::DeviceId dev, disk::Lba lba, std::span<const std::uint64_t> versions);
+
+  /// True once the record's every sector is durable (its write-back, if
+  /// still queued, can be skipped).
+  [[nodiscard]] bool record_settled(RecordId record) const {
+    return !pending_.contains(record);
+  }
+
+  /// True when every sector of the range already has its latest content on
+  /// the data disk — the §4.2 "skip" test for a queued write-back.
+  [[nodiscard]] bool range_settled(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const;
+
+  /// Keep the range's sectors resident while a queued write-back
+  /// references them (snapshot() must be able to materialize at dispatch
+  /// even if overlapping later writes have already settled the sectors).
+  void pin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t count);
+  void unpin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t count);
+
+  [[nodiscard]] std::size_t pinned_sectors() const { return sectors_.size(); }
+  [[nodiscard]] std::size_t pinned_bytes() const { return sectors_.size() * disk::kSectorSize; }
+  [[nodiscard]] std::size_t pinned_bytes_high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t pending_records() const { return pending_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t dev;
+    disk::Lba lba;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(k.lba * 0x9E3779B97F4A7C15ULL ^ k.dev);
+    }
+  };
+  struct Waiter {
+    RecordId record;
+    std::uint64_t version;
+  };
+  struct SectorState {
+    disk::SectorBuf data;
+    std::uint64_t version = 0;          // of `data`
+    std::uint64_t durable_version = 0;  // newest version on the data disk
+    std::uint32_t cover_pins = 0;       // queued write-backs referencing it
+    std::vector<Waiter> waiters;
+  };
+
+  void maybe_release(const Key& key);
+
+  RecordDurableFn on_record_durable_;
+  std::unordered_map<Key, SectorState, KeyHash> sectors_;
+  std::unordered_map<RecordId, std::uint32_t> pending_;  // record -> sectors left
+  std::uint64_t next_version_ = 1;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace trail::core

@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used to validate log record
+// headers and payload images during recovery scanning — a robustness
+// extension over the paper, which relies on the signature bytes alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace trail::core {
+
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+}  // namespace trail::core

@@ -1,0 +1,41 @@
+// Empirical derivation of δ (§3.1).
+//
+// "To derive δ, we started with (C0,H0,S0), performed a series of
+// single-sector write operations with different target addresses
+// (C0,H0,S0+δ) corresponding to different δ values, and measured their
+// latency. In each such write, if the δ value is smaller than desired,
+// the resulting write latency will be close to a full rotation cycle.
+// The smallest δ value that does not incur a full rotation delay is the
+// final δ value."
+//
+// The calibrator reproduces that experiment verbatim against the disk
+// model: position the head by reading (track, 0), then immediately write
+// one sector at (0 + 1 + δ) and classify the latency. It is a pure
+// black-box measurement — no knowledge of the device's internal overhead
+// parameter is used.
+#pragma once
+
+#include <vector>
+
+#include "disk/disk_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail::core {
+
+class DeltaCalibrator {
+ public:
+  struct Result {
+    std::uint32_t delta_sectors = 0;   // smallest δ avoiding a full rotation
+    sim::Duration delta_time;          // δ quantized up to sector boundaries
+    disk::TrackId probe_track = 0;
+    std::vector<sim::Duration> probe_latency;  // measured latency per δ value
+  };
+
+  /// Runs probe writes on `probe_track` (contents are destroyed — use a
+  /// scratch track) and drives `sim` until the experiment completes.
+  /// Throws if no δ up to `max_delta` avoids the rotation penalty.
+  static Result run(sim::Simulator& sim, disk::DiskDevice& device, disk::TrackId probe_track,
+                    std::uint32_t max_delta = 96);
+};
+
+}  // namespace trail::core

@@ -1,0 +1,118 @@
+#include "core/format_tool.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace trail::core {
+
+LogDiskLayout::LogDiskLayout(const disk::Geometry& geometry) : geometry_(geometry) {
+  const disk::TrackId n = geometry.track_count();
+  if (n < 4) throw std::invalid_argument("LogDiskLayout: disk too small");
+  replica_tracks_ = {0, n / 2, n - 1};
+}
+
+disk::TrackId LogDiskLayout::replica_track(int replica) const {
+  return replica_tracks_.at(static_cast<std::size_t>(replica));
+}
+
+disk::Lba LogDiskLayout::header_lba(int replica) const {
+  return geometry_.first_lba_of_track(replica_track(replica));
+}
+
+disk::Lba LogDiskLayout::geometry_lba(int replica) const { return header_lba(replica) + 1; }
+
+void format_log_disk(disk::DiskDevice& device) {
+  device.store().wipe();
+  const LogDiskLayout layout(device.geometry());
+  disk::SectorBuf header_sector{};
+  disk::SectorBuf geometry_sector{};
+  serialize_disk_header(LogDiskHeader{0, 1}, header_sector);
+  serialize_geometry(device.geometry(), device.profile().rpm, geometry_sector);
+  for (int r = 0; r < layout.replica_count(); ++r) {
+    device.store().write(layout.header_lba(r), 1, header_sector);
+    device.store().write(layout.geometry_lba(r), 1, geometry_sector);
+  }
+}
+
+bool is_trail_log_disk(const disk::DiskDevice& device) {
+  const LogDiskLayout layout(device.geometry());
+  disk::SectorBuf sector{};
+  for (int r = 0; r < layout.replica_count(); ++r) {
+    device.store().read(layout.header_lba(r), 1, sector);
+    if (parse_disk_header(sector)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Async chain writing the header sector to every replica in sequence.
+struct HeaderWriter {
+  disk::DiskDevice& device;
+  LogDiskLayout layout;
+  disk::SectorBuf sector{};
+  std::function<void()> done;
+  int replica = 0;
+
+  static void start(disk::DiskDevice& device, const LogDiskHeader& header,
+                    std::function<void()> done) {
+    auto self = std::make_shared<HeaderWriter>(
+        HeaderWriter{device, LogDiskLayout(device.geometry()), {}, std::move(done)});
+    serialize_disk_header(header, self->sector);
+    step(self);
+  }
+
+  static void step(const std::shared_ptr<HeaderWriter>& self) {
+    if (self->replica >= self->layout.replica_count()) {
+      if (self->done) self->done();
+      return;
+    }
+    const int r = self->replica++;
+    self->device.write(self->layout.header_lba(r), 1, self->sector, [self] { step(self); });
+  }
+};
+
+/// Async chain reading replicas until one parses.
+struct HeaderReader {
+  disk::DiskDevice& device;
+  LogDiskLayout layout;
+  disk::SectorBuf sector{};
+  std::function<void(std::optional<LogDiskHeader>)> done;
+  int replica = 0;
+
+  static void start(disk::DiskDevice& device,
+                    std::function<void(std::optional<LogDiskHeader>)> done) {
+    auto self = std::make_shared<HeaderReader>(
+        HeaderReader{device, LogDiskLayout(device.geometry()), {}, std::move(done)});
+    step(self);
+  }
+
+  static void step(const std::shared_ptr<HeaderReader>& self) {
+    if (self->replica >= self->layout.replica_count()) {
+      if (self->done) self->done(std::nullopt);
+      return;
+    }
+    const int r = self->replica++;
+    self->device.read(self->layout.header_lba(r), 1, self->sector, [self] {
+      if (auto hdr = parse_disk_header(self->sector)) {
+        if (self->done) self->done(hdr);
+        return;
+      }
+      step(self);
+    });
+  }
+};
+
+}  // namespace
+
+void write_disk_headers(disk::DiskDevice& device, const LogDiskHeader& header,
+                        std::function<void()> done) {
+  HeaderWriter::start(device, header, std::move(done));
+}
+
+void read_disk_header(disk::DiskDevice& device,
+                      std::function<void(std::optional<LogDiskHeader>)> done) {
+  HeaderReader::start(device, std::move(done));
+}
+
+}  // namespace trail::core

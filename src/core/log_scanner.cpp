@@ -1,0 +1,175 @@
+#include "core/log_scanner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace trail::core {
+
+LogScanner::LogScanner(const disk::DiskDevice& device)
+    : device_(device), layout_(device.geometry()) {}
+
+std::optional<ScannedRecord> LogScanner::parse_at(disk::Lba lba) const {
+  const disk::Geometry& geom = device_.geometry();
+  if (lba >= geom.total_sectors()) return std::nullopt;
+  disk::SectorBuf sector{};
+  device_.store().read(lba, 1, sector);
+  const auto hdr = parse_record_header(sector);
+  if (!hdr) return std::nullopt;
+
+  ScannedRecord rec;
+  rec.header_lba = lba;
+  rec.track = geom.track_of_lba(lba);
+  // Validate the payload CRC (payload is contiguous after the header and
+  // never crosses the end of the disk by construction).
+  if (lba + 1 + hdr->batch_size <= geom.total_sectors()) {
+    std::vector<std::byte> payload(static_cast<std::size_t>(hdr->batch_size) *
+                                   disk::kSectorSize);
+    device_.store().read(lba + 1, hdr->batch_size, payload);
+    rec.payload_intact = payload_image_crc(payload) == hdr->payload_crc;
+  }
+  rec.header = std::move(*hdr);
+  return rec;
+}
+
+std::optional<ScannedRecord> LogScanner::record_at(disk::Lba lba) const { return parse_at(lba); }
+
+std::vector<ScannedRecord> LogScanner::records_of_epoch(std::uint32_t epoch) const {
+  std::vector<ScannedRecord> out;
+  const disk::Geometry& geom = device_.geometry();
+  for (disk::Lba lba = 0; lba < geom.total_sectors(); ++lba) {
+    if (!device_.store().is_written(lba)) continue;
+    auto rec = parse_at(lba);
+    if (rec && rec->header.epoch == epoch) out.push_back(std::move(*rec));
+  }
+  std::sort(out.begin(), out.end(), [](const ScannedRecord& a, const ScannedRecord& b) {
+    return record_key(a.header) < record_key(b.header);
+  });
+  return out;
+}
+
+ScanReport LogScanner::scan() const {
+  ScanReport report;
+  const disk::Geometry& geom = device_.geometry();
+
+  // Disk header replicas.
+  disk::SectorBuf sector{};
+  for (int r = 0; r < layout_.replica_count(); ++r) {
+    device_.store().read(layout_.header_lba(r), 1, sector);
+    if (const auto hdr = parse_disk_header(sector)) {
+      if (report.intact_header_replicas == 0) report.disk_header = *hdr;
+      ++report.intact_header_replicas;
+    }
+  }
+  report.formatted = report.intact_header_replicas > 0;
+  if (!report.formatted) return report;
+
+  // Census. Only written sectors are inspected; pristine sectors count as
+  // "other" implicitly by omission (we report scanned = written).
+  std::optional<ScannedRecord> youngest;
+  std::vector<std::uint32_t> used_sectors(geom.track_count(), 0);
+  const std::uint32_t newest_epoch = report.disk_header.epoch;
+  for (disk::Lba lba = 0; lba < geom.total_sectors(); ++lba) {
+    if (!device_.store().is_written(lba)) continue;
+    ++report.sectors_scanned;
+    device_.store().read(lba, 1, sector);
+    switch (classify_sector(sector)) {
+      case SectorKind::kRecordHeader: {
+        ++report.record_headers;
+        auto rec = parse_at(lba);
+        if (!rec) break;
+        ++report.records_per_epoch[rec->header.epoch];
+        if (rec->header.epoch <= newest_epoch) {
+          if (!youngest || record_key(rec->header) > record_key(youngest->header))
+            youngest = rec;
+        }
+        if (rec->header.epoch == newest_epoch)
+          used_sectors[rec->track] += 1 + rec->header.batch_size;
+        break;
+      }
+      case SectorKind::kPayload:
+        ++report.payload_sectors;
+        break;
+      case SectorKind::kOther:
+        ++report.other_sectors;
+        break;
+    }
+  }
+  report.track_utilization.resize(geom.track_count());
+  for (disk::TrackId t = 0; t < geom.track_count(); ++t)
+    report.track_utilization[t] =
+        static_cast<double>(used_sectors[t]) / geom.spt_of_track(t);
+  report.youngest = youngest;
+
+  // Chain verification from the youngest record.
+  if (!youngest) {
+    report.chain_verified = true;  // empty log is consistent
+    return report;
+  }
+  std::uint64_t prev_key = 0;
+  bool first = true;
+  std::uint8_t unit = 0;  // single-disk scanner: pointers must stay local
+  disk::Lba lba = youngest->header_lba;
+  const std::uint32_t bound = youngest->header.log_head;
+  for (;;) {
+    auto rec = parse_at(lba);
+    if (!rec) {
+      report.chain_error = "prev_sect points at a non-record sector";
+      return report;
+    }
+    if (!rec->payload_intact && !first) {
+      report.chain_error = "torn payload below the youngest record";
+      return report;
+    }
+    if (!first && record_key(rec->header) >= prev_key) {
+      report.chain_error = "record keys not strictly decreasing";
+      return report;
+    }
+    prev_key = record_key(rec->header);
+    first = false;
+    ++report.chain_length;
+    if (report.chain_length > report.record_headers) {
+      report.chain_error = "chain longer than the record census (cycle?)";
+      return report;
+    }
+    const std::uint32_t self = encode_log_ptr(unit, static_cast<std::uint32_t>(lba));
+    if (self == bound) break;
+    if (rec->header.prev_sect == kNoPrevRecord) break;
+    if (log_ptr_unit(rec->header.prev_sect) != unit) {
+      // Cross-disk chain: out of this single-disk scanner's scope.
+      report.chain_error = "chain crosses to another log disk (scan that disk too)";
+      return report;
+    }
+    lba = log_ptr_lba(rec->header.prev_sect);
+  }
+  report.chain_verified = true;
+  return report;
+}
+
+std::string LogScanner::describe(const ScannedRecord& record) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "record epoch=%u seq=%u @lba %llu (track %u): %u payload sector%s, %s\n",
+                record.header.epoch, record.header.sequence_id,
+                static_cast<unsigned long long>(record.header_lba), record.track,
+                record.header.batch_size, record.header.batch_size == 1 ? "" : "s",
+                record.payload_intact ? "payload OK" : "payload TORN");
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  prev_sect=%#x log_head=%#x\n", record.header.prev_sect,
+                record.header.log_head);
+  out += buf;
+  for (std::uint32_t i = 0; i < record.header.batch_size; ++i) {
+    const RecordEntry& e = record.header.entries[i];
+    if (e.data_major == kDirectLogMajor)
+      std::snprintf(buf, sizeof buf, "  [%2u] log_lba=%u  DIRECT cookie=%u first_byte=%02x\n",
+                    i, e.log_lba, e.data_lba, e.first_data_byte);
+    else
+      std::snprintf(buf, sizeof buf,
+                    "  [%2u] log_lba=%u -> dev(%u,%u) lba=%u first_byte=%02x\n", i, e.log_lba,
+                    e.data_major, e.data_minor, e.data_lba, e.first_data_byte);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace trail::core

@@ -1,0 +1,302 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/crc32.hpp"
+
+namespace trail::core {
+
+RecoveryManager::RecoveryManager(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
+                                 DataWriteFn data_write)
+    : sim_(sim), data_write_(std::move(data_write)) {
+  if (log_disks.empty() || log_disks.size() > kMaxLogUnits)
+    throw std::invalid_argument("RecoveryManager: 1..15 log disks required");
+  for (disk::DiskDevice* device : log_disks) {
+    Unit unit;
+    unit.device = device;
+    const LogDiskLayout layout(device->geometry());
+    const auto reserved = layout.reserved_tracks();
+    for (disk::TrackId t = 0; t < device->geometry().track_count(); ++t)
+      if (std::find(reserved.begin(), reserved.end(), t) == reserved.end())
+        unit.usable.push_back(t);
+    units_.push_back(std::move(unit));
+  }
+}
+
+void RecoveryManager::read_sync(std::uint8_t unit, disk::Lba lba, std::uint32_t count,
+                                std::span<std::byte> out) {
+  bool done = false;
+  units_.at(unit).device->read(lba, count, out, [&] { done = true; });
+  while (!done) {
+    if (!sim_.step()) throw std::runtime_error("RecoveryManager: simulation stalled");
+  }
+}
+
+RecoveryManager::TrackKey RecoveryManager::scan_track(std::uint8_t unit,
+                                                      std::size_t usable_index,
+                                                      std::uint32_t target_epoch,
+                                                      RecoveryStats& stats) {
+  const Unit& u = units_.at(unit);
+  const disk::TrackId track = u.usable[usable_index];
+  const disk::Geometry& geom = u.device->geometry();
+  const std::uint32_t spt = geom.spt_of_track(track);
+  const disk::Lba base = geom.first_lba_of_track(track);
+  std::vector<std::byte> buf(static_cast<std::size_t>(spt) * disk::kSectorSize);
+  read_sync(unit, base, spt, buf);
+  ++stats.tracks_scanned;
+
+  TrackKey best;
+  for (std::uint32_t s = 0; s < spt; ++s) {
+    const std::span<const std::byte> sector(
+        buf.data() + static_cast<std::size_t>(s) * disk::kSectorSize, disk::kSectorSize);
+    const auto hdr = parse_record_header(sector);
+    if (!hdr || hdr->epoch > target_epoch) continue;
+    if (!best.present || record_key(*hdr) > best.key) {
+      best.present = true;
+      best.key = record_key(*hdr);
+      best.unit = unit;
+      best.header_lba = base + s;
+    }
+  }
+  return best;
+}
+
+RecoveryManager::TrackKey RecoveryManager::locate_sequential(std::uint8_t unit,
+                                                             std::uint32_t target_epoch,
+                                                             RecoveryStats& stats) {
+  TrackKey best;
+  for (std::size_t i = 0; i < units_.at(unit).usable.size(); ++i) {
+    const TrackKey k = scan_track(unit, i, target_epoch, stats);
+    if (k.present && (!best.present || k.key > best.key)) best = k;
+  }
+  return best;
+}
+
+RecoveryManager::TrackKey RecoveryManager::locate_binary(std::uint8_t unit,
+                                                         std::uint32_t target_epoch,
+                                                         RecoveryStats& stats,
+                                                         std::uint32_t anchor_probes) {
+  const std::size_t n = units_.at(unit).usable.size();
+
+  // Phase A: probe evenly-spread tracks for any record of the crashed
+  // epoch to anchor the search. FIFO allocation makes the stamped tracks
+  // one contiguous circular arc, so a probe grid finds it whenever the
+  // arc is at least n/probes tracks long.
+  std::size_t anchor_idx = n;  // sentinel: not found
+  TrackKey anchor_key;
+  const std::size_t probes = std::min<std::size_t>(anchor_probes == 0 ? 1 : anchor_probes, n);
+  for (std::size_t k = 0; k < probes; ++k) {
+    const std::size_t idx = k * n / probes;
+    const TrackKey key = scan_track(unit, idx, target_epoch, stats);
+    if (key.present) {
+      anchor_idx = idx;
+      anchor_key = key;
+      break;
+    }
+  }
+  if (anchor_idx == n) {
+    // Short or empty log: fall back to the exhaustive scan.
+    stats.sequential_fallback = true;
+    return locate_sequential(unit, target_epoch, stats);
+  }
+
+  // Phase B: binary-search the last rotated position j (clockwise offset
+  // from the anchor) whose track key is >= the anchor's.
+  auto key_at = [&](std::size_t j) {
+    return scan_track(unit, (anchor_idx + j) % n, target_epoch, stats);
+  };
+
+  std::size_t lo = 0;  // known-true rotated position
+  TrackKey lo_key = anchor_key;
+  std::size_t hi = n;  // exclusive upper bound
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    TrackKey k = key_at(mid);
+    std::size_t j = mid;
+    if (!k.present) {
+      // `mid` was never stamped. The stamped region is one contiguous
+      // circular segment containing lo, so "stamped?" is a monotone
+      // predicate on (lo, mid]: bisect for the last stamped position.
+      std::size_t slo = lo;   // stamped
+      std::size_t shi = mid;  // gap
+      TrackKey slo_key;       // key at slo when slo > lo
+      while (shi - slo > 1) {
+        const std::size_t m = slo + (shi - slo) / 2;
+        const TrackKey km = key_at(m);
+        if (km.present) {
+          slo = m;
+          slo_key = km;
+        } else {
+          shi = m;
+        }
+      }
+      if (slo == lo) {
+        // Nothing stamped in (lo, mid]: the arc ends at lo.
+        hi = lo + 1;
+        continue;
+      }
+      j = slo;
+      k = slo_key;
+    }
+    if (k.key >= anchor_key.key) {
+      lo = j;
+      lo_key = k;
+    } else {
+      hi = j;
+    }
+  }
+  return lo_key;
+}
+
+RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
+                                              const Options& options) {
+  Outcome outcome;
+  RecoveryStats& stats = outcome.stats;
+
+  // ---- Phase 1: locate the youngest active write record ----
+  const sim::TimePoint locate_start = sim_.now();
+  TrackKey youngest;
+  for (std::uint8_t unit = 0; unit < units_.size(); ++unit) {
+    TrackKey candidate;
+    if (options.sequential_locate) {
+      stats.sequential_fallback = true;
+      candidate = locate_sequential(unit, target_epoch, stats);
+    } else {
+      candidate = locate_binary(unit, target_epoch, stats, options.anchor_probes);
+    }
+    if (candidate.present && (!youngest.present || candidate.key > youngest.key))
+      youngest = candidate;
+  }
+  stats.locate_time = sim_.now() - locate_start;
+  if (!youngest.present) return outcome;  // nothing was logged in the crashed epoch
+
+  // ---- Phase 2: rebuild the pending-record set ----
+  const sim::TimePoint rebuild_start = sim_.now();
+
+  std::uint8_t unit = youngest.unit;
+  disk::Lba lba = youngest.header_lba;
+  bool have_bound = false;
+  std::uint32_t bound_ptr = 0;
+  std::uint64_t prev_key = 0;
+  std::vector<RecoveredRecord> chain;  // youngest -> oldest
+
+  for (;;) {
+    const disk::Geometry& geom = units_.at(unit).device->geometry();
+    // One windowed read fetches the header plus (optimistically) the whole
+    // payload, so each chain step usually costs a single disk access. The
+    // window is clamped to the record's track (payload never crosses it).
+    const disk::TrackId lba_track = geom.track_of_lba(lba);
+    const disk::Lba track_end = geom.first_lba_of_track(lba_track) + geom.spt_of_track(lba_track);
+    const auto window =
+        static_cast<std::uint32_t>(std::min<disk::Lba>(1 + kMaxTrailBatch, track_end - lba));
+    std::vector<std::byte> window_buf(static_cast<std::size_t>(window) * disk::kSectorSize);
+    read_sync(unit, lba, window, window_buf);
+    const std::span<const std::byte> header_sector(window_buf.data(), disk::kSectorSize);
+    auto hdr = parse_record_header(header_sector);
+    if (!hdr || hdr->epoch > target_epoch)
+      throw std::runtime_error("recovery: prev_sect chain reached an invalid record header");
+    if (!chain.empty() || stats.records_dropped_torn > 0) {
+      if (record_key(*hdr) >= prev_key)
+        throw std::runtime_error("recovery: record keys not decreasing along chain");
+    }
+    prev_key = record_key(*hdr);
+
+    // Payload sectors follow the header contiguously.
+    std::vector<std::byte> payload(static_cast<std::size_t>(hdr->batch_size) * disk::kSectorSize);
+    if (1 + hdr->batch_size <= window) {
+      std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize, payload.size());
+    } else {
+      std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize,
+                  static_cast<std::size_t>(window - 1) * disk::kSectorSize);
+      read_sync(unit, lba + window, hdr->batch_size - (window - 1),
+                std::span<std::byte>(payload).subspan(static_cast<std::size_t>(window - 1) *
+                                                      disk::kSectorSize));
+    }
+    const bool intact = payload_image_crc(payload) == hdr->payload_crc;
+
+    if (!intact) {
+      // Only the final (unacknowledged) physical write can be torn; by
+      // then we must not have collected any intact newer record.
+      if (!chain.empty())
+        throw std::runtime_error("recovery: torn record below an intact one");
+      ++stats.records_dropped_torn;
+    } else {
+      if (!have_bound) {
+        // The newest *intact* record's log_head bounds the backward walk.
+        have_bound = true;
+        bound_ptr = hdr->log_head;
+      }
+      RecoveredRecord rec;
+      rec.log_unit = unit;
+      rec.header_lba = lba;
+      rec.track = geom.track_of_lba(lba);
+      // Restore the original first byte of every payload sector.
+      for (std::uint32_t i = 0; i < hdr->batch_size; ++i)
+        unescape_payload_sector(
+            std::span<std::byte>(payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+                                 disk::kSectorSize),
+            hdr->entries[i].first_data_byte);
+      rec.payload = std::move(payload);
+      rec.header = std::move(*hdr);
+      chain.push_back(std::move(rec));
+      hdr.reset();
+    }
+
+    const RecordHeader& cur =
+        chain.empty() ? *parse_record_header(header_sector) : chain.back().header;
+    const std::uint32_t self_ptr = encode_log_ptr(unit, static_cast<std::uint32_t>(lba));
+    if (have_bound && self_ptr == bound_ptr) break;  // reached the oldest live record
+    if (cur.prev_sect == kNoPrevRecord) break;       // first record of the epoch
+    unit = log_ptr_unit(cur.prev_sect);
+    if (unit >= units_.size())
+      throw std::runtime_error("recovery: prev_sect names an unknown log disk");
+    lba = log_ptr_lba(cur.prev_sect);
+  }
+
+  std::reverse(chain.begin(), chain.end());  // ascending key
+  stats.records_found = static_cast<std::uint32_t>(chain.size());
+  stats.rebuild_time = sim_.now() - rebuild_start;
+  outcome.pending = std::move(chain);
+
+  // ---- Phase 3: write pending records back to the data disks ----
+  if (options.write_back && !outcome.pending.empty()) {
+    if (!data_write_) throw std::logic_error("recovery: write-back requested without DataWriteFn");
+    const sim::TimePoint wb_start = sim_.now();
+    for (const RecoveredRecord& rec : outcome.pending) {
+      // Direct-log records have no data-disk home; the mounting driver
+      // re-adopts them and the client replays from their payloads.
+      if (rec.header.entries[0].data_major == kDirectLogMajor) continue;
+      // Group entries into contiguous runs per device.
+      std::uint32_t i = 0;
+      while (i < rec.header.batch_size) {
+        std::uint32_t j = i + 1;
+        const RecordEntry& e0 = rec.header.entries[i];
+        while (j < rec.header.batch_size) {
+          const RecordEntry& e = rec.header.entries[j];
+          if (e.data_major != e0.data_major || e.data_minor != e0.data_minor ||
+              e.data_lba != e0.data_lba + (j - i))
+            break;
+          ++j;
+        }
+        const std::span<const std::byte> run(
+            rec.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+            static_cast<std::size_t>(j - i) * disk::kSectorSize);
+        bool done = false;
+        data_write_(io::DeviceId{e0.data_major, e0.data_minor}, e0.data_lba, run,
+                    [&] { done = true; });
+        while (!done) {
+          if (!sim_.step()) throw std::runtime_error("recovery: simulation stalled");
+        }
+        stats.sectors_written_back += j - i;
+        i = j;
+      }
+    }
+    stats.writeback_time = sim_.now() - wb_start;
+  }
+
+  return outcome;
+}
+
+}  // namespace trail::core

@@ -1,0 +1,122 @@
+// Crash recovery (§3.3, Fig. 4).
+//
+// Three phases, each timed separately for the Fig. 4 breakdown:
+//
+//  1. LOCATE the youngest active write record: per-track scans driven by
+//     a binary search over each log disk's circular track ring. FIFO
+//     track allocation guarantees that per-track newest (epoch,
+//     sequence_id) keys form a circularly monotone sequence per disk
+//     (gaps only beyond the stamped arc), so O(lg N) track scans find
+//     each disk's maximum; the global youngest is the max across disks.
+//     A sequential full scan exists both as the paper's baseline
+//     (ablation) and as a defensive fallback.
+//
+//  2. REBUILD the pending-record set: walk prev_sect back from the
+//     youngest record — across log disks via encoded log pointers — no
+//     further than the youngest record's log_head bound, reading each
+//     record's header and payload in one windowed access. Torn tail
+//     records (payload CRC mismatch — possible only for unacknowledged
+//     final physical writes) are dropped.
+//
+//  3. WRITE BACK pending records to the data disks in ascending key
+//     order. Optional (Fig. 4b): the driver may instead adopt the records
+//     as live state and resume service immediately, since a persistent
+//     copy already exists on the log disk.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/format_tool.hpp"
+#include "core/log_format.hpp"
+#include "disk/disk_device.hpp"
+#include "io/block.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail::core {
+
+struct RecoveredRecord {
+  RecordHeader header;
+  std::uint8_t log_unit = 0;
+  disk::Lba header_lba = 0;
+  disk::TrackId track = 0;
+  /// Unescaped payload image, header.batch_size sectors.
+  std::vector<std::byte> payload;
+};
+
+struct RecoveryStats {
+  sim::Duration locate_time;
+  std::uint32_t tracks_scanned = 0;
+  bool sequential_fallback = false;
+  sim::Duration rebuild_time;
+  std::uint32_t records_found = 0;
+  std::uint32_t records_dropped_torn = 0;
+  sim::Duration writeback_time;
+  std::uint64_t sectors_written_back = 0;
+};
+
+class RecoveryManager {
+ public:
+  struct Options {
+    /// Phase 3 on/off (Fig. 4b: recovery is much slower with write-back).
+    bool write_back = true;
+    /// Force the O(N) sequential locate instead of binary search (ablation).
+    bool sequential_locate = false;
+    /// Probes used to find a binary-search anchor before falling back.
+    std::uint32_t anchor_probes = 64;
+  };
+
+  /// Writes one payload run to a data disk; invoke the completion when
+  /// durable. Bound to the data-disk device queues by the driver.
+  using DataWriteFn = std::function<void(io::DeviceId, disk::Lba, std::span<const std::byte>,
+                                         std::function<void()>)>;
+
+  RecoveryManager(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
+                  DataWriteFn data_write);
+
+  struct Outcome {
+    RecoveryStats stats;
+    /// Pending records in ascending key order. Non-empty payloads.
+    std::vector<RecoveredRecord> pending;
+  };
+
+  /// Run recovery for the crashed epoch (records of *earlier* epochs can
+  /// also be pending when a previous recovery adopted them instead of
+  /// writing them back, so the epoch is an upper bound and ordering uses
+  /// record_key). Drives the simulator until the selected phases complete
+  /// (recovery owns the machine at boot).
+  Outcome run(std::uint32_t target_epoch, const Options& options);
+
+ private:
+  struct Unit {
+    disk::DiskDevice* device = nullptr;
+    std::vector<disk::TrackId> usable;  // ring, physical order
+  };
+  struct TrackKey {
+    bool present = false;
+    std::uint64_t key = 0;  // record_key(epoch, sequence_id)
+    std::uint8_t unit = 0;
+    disk::Lba header_lba = 0;
+  };
+
+  /// One full-track read + parse on `unit`; returns the newest
+  /// (epoch <= target) record key on the track.
+  TrackKey scan_track(std::uint8_t unit, std::size_t usable_index, std::uint32_t target_epoch,
+                      RecoveryStats& stats);
+
+  /// Read `count` sectors synchronously from a log unit.
+  void read_sync(std::uint8_t unit, disk::Lba lba, std::uint32_t count,
+                 std::span<std::byte> out);
+
+  [[nodiscard]] TrackKey locate_binary(std::uint8_t unit, std::uint32_t target_epoch,
+                                       RecoveryStats& stats, std::uint32_t anchor_probes);
+  [[nodiscard]] TrackKey locate_sequential(std::uint8_t unit, std::uint32_t target_epoch,
+                                           RecoveryStats& stats);
+
+  sim::Simulator& sim_;
+  std::vector<Unit> units_;
+  DataWriteFn data_write_;
+};
+
+}  // namespace trail::core

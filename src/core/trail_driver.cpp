@@ -1,0 +1,769 @@
+#include "core/trail_driver.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "io/scheduler.hpp"
+
+namespace trail::core {
+
+namespace {
+constexpr std::uint8_t kDataDiskMajor = 3;
+/// CPU cost charged for a read served entirely from the staging buffer.
+constexpr sim::Duration kBufferReadDelay = sim::micros(5);
+}  // namespace
+
+TrailDriver::TrailDriver(sim::Simulator& sim, disk::DiskDevice& log_disk, TrailConfig config)
+    : TrailDriver(sim, std::vector<disk::DiskDevice*>{&log_disk}, config) {}
+
+TrailDriver::TrailDriver(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
+                         TrailConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.track_utilization_threshold < 0.0 || config_.track_utilization_threshold > 1.0)
+    throw std::invalid_argument("TrailDriver: utilization threshold must be in [0,1]");
+  if (log_disks.empty() || log_disks.size() > kMaxLogUnits)
+    throw std::invalid_argument("TrailDriver: 1..15 log disks required");
+  for (disk::DiskDevice* device : log_disks) {
+    if (device == nullptr) throw std::invalid_argument("TrailDriver: null log disk");
+    if (!is_trail_log_disk(*device))
+      throw std::invalid_argument(
+          "TrailDriver: log disk is not formatted (run format_log_disk)");
+    LogUnit unit(*device);
+    unit.predictor = std::make_unique<HeadPredictor>(device->geometry(),
+                                                     device->profile().rotation_time());
+    unit.allocator =
+        std::make_unique<TrackAllocator>(device->geometry(), unit.layout.reserved_tracks());
+    units_.push_back(std::move(unit));
+  }
+  if (config_.delta == sim::Duration{0})
+    config_.delta = units_[0].device->profile().command_overhead;
+  for (LogUnit& unit : units_) unit.predictor->set_delta(config_.delta);
+
+  buffers_ = std::make_unique<BufferManager>([this](RecordId id) { on_record_durable(id); });
+}
+
+TrailDriver::~TrailDriver() {
+  *alive_ = false;
+  if (idle_timer_.valid()) sim_.cancel(idle_timer_);
+}
+
+io::DeviceId TrailDriver::add_data_disk(disk::DiskDevice& device) {
+  if (mounted_) throw std::logic_error("TrailDriver: add data disks before mount()");
+  data_queues_.push_back(std::make_unique<io::DeviceQueue>(device, io::make_fifo_scheduler()));
+  data_disks_.push_back(&device);
+  return io::DeviceId{kDataDiskMajor, static_cast<std::uint8_t>(data_queues_.size() - 1)};
+}
+
+io::DeviceQueue& TrailDriver::data_queue(io::DeviceId dev) {
+  if (dev.major() != kDataDiskMajor || dev.minor() >= data_queues_.size())
+    throw std::out_of_range("TrailDriver: unknown data device");
+  return *data_queues_[dev.minor()];
+}
+
+void TrailDriver::run_sim_until(const std::function<bool()>& done, const char* what) {
+  while (!done()) {
+    if (!sim_.step()) throw std::runtime_error(std::string("TrailDriver: stalled during ") + what);
+  }
+}
+
+std::uint32_t TrailDriver::oldest_live_ptr_or(std::uint32_t fallback) const {
+  if (live_records_.empty()) return fallback;
+  const LiveRecord& oldest = live_records_.begin()->second;
+  return encode_log_ptr(oldest.unit, static_cast<std::uint32_t>(oldest.header_lba));
+}
+
+// ---------------------------------------------------------------------------
+// Mount / unmount / crash
+// ---------------------------------------------------------------------------
+
+void TrailDriver::mount() {
+  if (mounted_) throw std::logic_error("TrailDriver: already mounted");
+  if (crashed_) throw std::logic_error("TrailDriver: driver instance crashed; build a new one");
+  if (data_queues_.empty()) throw std::logic_error("TrailDriver: no data disks registered");
+
+  // Read every unit's disk header (timed, through the normal command path).
+  std::vector<LogDiskHeader> headers(units_.size());
+  bool any_crashed = false;
+  std::uint32_t max_epoch = 0;
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    std::optional<LogDiskHeader> header;
+    bool have = false;
+    read_disk_header(*units_[u].device, [&](std::optional<LogDiskHeader> h) {
+      header = h;
+      have = true;
+    });
+    run_sim_until([&] { return have; }, "header read");
+    if (!header) throw std::runtime_error("TrailDriver: no valid log disk header replica");
+    headers[u] = *header;
+    any_crashed |= header->crash_var == 0;
+    max_epoch = std::max(max_epoch, header->epoch);
+  }
+
+  std::vector<std::optional<disk::TrackId>> resume_after(units_.size());
+
+  if (any_crashed) {
+    // The previous epoch did not unmount cleanly: recover (§3.3).
+    RecoveryManager::Options opts;
+    opts.write_back = config_.recovery_write_back;
+    opts.sequential_locate = config_.recovery_sequential_locate;
+    std::vector<disk::DiskDevice*> devices;
+    for (LogUnit& unit : units_) devices.push_back(unit.device);
+    RecoveryManager recovery(
+        sim_, devices,
+        [this](io::DeviceId dev, disk::Lba lba, std::span<const std::byte> data,
+               std::function<void()> done) {
+          io::PendingIo io;
+          io.is_write = true;
+          io.lba = lba;
+          io.count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
+          io.data.assign(data.begin(), data.end());
+          io.priority = 0;
+          io.on_complete = std::move(done);
+          data_queue(dev).submit(std::move(io));
+        });
+    auto outcome = recovery.run(max_epoch, opts);
+    last_recovery_ = outcome.stats;
+    if (!outcome.pending.empty()) {
+      // Continue each unit's ring after its own youngest record; chain the
+      // global prev pointer after the overall youngest.
+      const RecoveredRecord& youngest = outcome.pending.back();
+      last_record_ptr_ =
+          encode_log_ptr(youngest.log_unit, static_cast<std::uint32_t>(youngest.header_lba));
+      for (const RecoveredRecord& rec : outcome.pending)
+        resume_after[rec.log_unit] = rec.track;  // ascending: ends at newest per unit
+      // Direct-log records are always adopted (the client replays from
+      // them and later releases); block records follow the policy.
+      std::vector<RecoveredRecord> adopt;
+      for (RecoveredRecord& rec : outcome.pending) {
+        const bool direct = rec.header.entries[0].data_major == kDirectLogMajor;
+        if (direct) {
+          recovered_direct_.push_back(rec);  // keep a copy for the client
+          adopt.push_back(std::move(rec));
+        } else if (!config_.recovery_write_back) {
+          adopt.push_back(std::move(rec));
+        }
+      }
+      if (!adopt.empty()) adopt_recovered(std::move(adopt));
+    }
+  }
+
+  epoch_ = max_epoch + 1;
+  next_seq_ = 1;
+
+  // Position each unit's allocator tail so stamping continues around its
+  // ring. A mount that recovered pending records skips past the youngest
+  // record's track (which may carry adopted live records); every other
+  // mount resumes exactly ON the stored track — skipping ahead would
+  // leave a stale-keyed track between epochs and break the circular key
+  // monotonicity the recovery binary search relies on.
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    LogUnit& unit = units_[u];
+    if (resume_after[u]) {
+      unit.allocator->set_tail_after(*resume_after[u]);
+    } else if (!unit.allocator->is_reserved(headers[u].resume_track) &&
+               headers[u].resume_track < unit.device->geometry().track_count()) {
+      unit.allocator->set_tail(headers[u].resume_track);
+    }
+  }
+
+  // Stamp the new epoch as mounted (crash_var = 0) on every unit.
+  for (LogUnit& unit : units_) {
+    bool stamped = false;
+    write_disk_headers(*unit.device, LogDiskHeader{epoch_, 0, unit.allocator->current()},
+                       [&] { stamped = true; });
+    run_sim_until([&] { return stamped; }, "mount header write");
+  }
+
+  position_heads_initial();
+  mounted_ = true;
+  arm_idle_timer();
+}
+
+void TrailDriver::position_heads_initial() {
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    LogUnit& unit = units_[u];
+    const disk::TrackId track = unit.allocator->current();
+    const disk::Lba lba = unit.device->geometry().first_lba_of_track(track);
+    bool done = false;
+    unit.device->read(lba, 1, unit.scratch, [&, track] {
+      unit.predictor->set_reference(sim_.now(), track, 0);
+      done = true;
+    });
+    run_sim_until([&] { return done; }, "initial head positioning");
+  }
+}
+
+void TrailDriver::unmount() {
+  if (!mounted_) throw std::logic_error("TrailDriver: not mounted");
+  auto drained = [this] {
+    if (!pending_.empty() || buffers_->pending_records() != 0) return false;
+    for (const LogUnit& unit : units_)
+      if (unit.busy) return false;
+    for (const auto& q : data_queues_)
+      if (!q->idle()) return false;
+    return true;
+  };
+  run_sim_until(drained, "unmount drain");
+
+  mounted_ = false;
+  if (idle_timer_.valid()) {
+    sim_.cancel(idle_timer_);
+    idle_timer_ = sim::EventId{};
+  }
+  for (LogUnit& unit : units_) {
+    bool stamped = false;
+    write_disk_headers(*unit.device, LogDiskHeader{epoch_, 1, unit.allocator->current()},
+                       [&] { stamped = true; });
+    run_sim_until([&] { return stamped; }, "unmount header write");
+  }
+}
+
+void TrailDriver::crash() {
+  crashed_ = true;
+  mounted_ = false;
+  *alive_ = false;
+  if (idle_timer_.valid()) {
+    sim_.cancel(idle_timer_);
+    idle_timer_ = sim::EventId{};
+  }
+  for (LogUnit& unit : units_) unit.device->crash_halt();
+  for (disk::DiskDevice* d : data_disks_) d->crash_halt();
+}
+
+void TrailDriver::adopt_recovered(std::vector<RecoveredRecord> records) {
+  // Records arrive in ascending key order. Re-create the live in-memory
+  // state exactly as it was after their log writes completed, so the
+  // normal write-back machinery drains them in the background (Fig. 4b's
+  // "resume immediately after the second stage").
+  std::map<std::pair<std::uint8_t, disk::TrackId>, std::pair<std::uint32_t, std::uint32_t>>
+      per_track;  // (unit, track) -> (used, records)
+  for (const RecoveredRecord& rec : records) {
+    auto& [used, nrecords] = per_track[{rec.log_unit, rec.track}];
+    used += 1 + rec.header.batch_size;
+    nrecords += 1;
+  }
+  for (const auto& [key, counts] : per_track)
+    units_.at(key.first).allocator->adopt_live_track(key.second, counts.first, counts.second);
+
+  for (const RecoveredRecord& rec : records) {
+    const std::uint64_t key = record_key(rec.header);
+    const bool direct = rec.header.entries[0].data_major == kDirectLogMajor;
+    LiveRecord live{rec.log_unit, rec.header_lba, rec.track, direct, 0};
+    if (direct) {
+      live.end_cookie = rec.header.entries.back().data_lba + disk::kSectorSize;
+      live_records_[key] = live;
+      continue;  // no write-back: the client releases it explicitly
+    }
+    live_records_[key] = live;
+    // Register contiguous per-device runs and queue their write-backs.
+    std::uint32_t i = 0;
+    while (i < rec.header.batch_size) {
+      const RecordEntry& e0 = rec.header.entries[i];
+      std::uint32_t j = i + 1;
+      while (j < rec.header.batch_size) {
+        const RecordEntry& e = rec.header.entries[j];
+        if (e.data_major != e0.data_major || e.data_minor != e0.data_minor ||
+            e.data_lba != e0.data_lba + (j - i))
+          break;
+        ++j;
+      }
+      const io::DeviceId dev{e0.data_major, e0.data_minor};
+      const std::span<const std::byte> run(
+          rec.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+          static_cast<std::size_t>(j - i) * disk::kSectorSize);
+      buffers_->register_write(key, dev, e0.data_lba, run);
+      buffers_->pin_range(dev, e0.data_lba, j - i);
+      enqueue_writeback(dev, e0.data_lba, j - i);
+      i = j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void TrailDriver::submit_write(io::BlockAddr addr, std::uint32_t count,
+                               std::span<const std::byte> data, Completion cb) {
+  if (crashed_) return;
+  if (!mounted_) throw std::logic_error("TrailDriver: not mounted");
+  if (count == 0) throw std::invalid_argument("TrailDriver: zero-sector write");
+  (void)data_queue(addr.device);  // validate device
+  PendingWrite req;
+  req.addr = addr;
+  req.count = count;
+  req.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(count) * disk::kSectorSize);
+  req.cb = std::move(cb);
+  pending_.push_back(std::move(req));
+  service_log_queue();
+}
+
+void TrailDriver::append_direct(std::span<const std::byte> bytes, std::uint64_t cookie,
+                                Completion cb) {
+  if (crashed_) return;
+  if (!mounted_) throw std::logic_error("TrailDriver: not mounted");
+  if (bytes.empty()) throw std::invalid_argument("TrailDriver: empty direct append");
+  PendingWrite req;
+  req.direct = true;
+  req.cookie = cookie;
+  req.count = static_cast<std::uint32_t>((bytes.size() + disk::kSectorSize - 1) /
+                                         disk::kSectorSize);
+  req.data.assign(bytes.begin(), bytes.end());
+  req.data.resize(static_cast<std::size_t>(req.count) * disk::kSectorSize);  // zero pad
+  req.cb = std::move(cb);
+  pending_.push_back(std::move(req));
+  service_log_queue();
+}
+
+void TrailDriver::release_direct_before(std::uint64_t cookie) {
+  bool any = false;
+  for (auto it = live_records_.begin(); it != live_records_.end();) {
+    if (it->second.direct && it->second.end_cookie <= cookie) {
+      units_.at(it->second.unit).allocator->release_record(it->second.track);
+      it = live_records_.erase(it);
+      any = true;
+    } else {
+      ++it;
+    }
+  }
+  if (!any) return;
+  for (std::uint8_t u = 0; u < units_.size(); ++u) {
+    if (!units_[u].full) continue;
+    units_[u].full = false;
+    switch_track(u);
+  }
+  if (!pending_.empty()) service_log_queue();
+}
+
+TrailDriver::LogUnit* TrailDriver::pick_idle_unit() {
+  // Round-robin from the unit after the last used one so a repositioning
+  // disk is naturally skipped in favour of an idle sibling (§5.1).
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const auto idx = static_cast<std::uint8_t>((next_unit_hint_ + i) % units_.size());
+    LogUnit& unit = units_[idx];
+    if (!unit.busy && !unit.full) {
+      next_unit_hint_ = static_cast<std::uint8_t>((idx + 1) % units_.size());
+      return &unit;
+    }
+  }
+  return nullptr;
+}
+
+void TrailDriver::service_log_queue() {
+  if (!mounted_ || crashed_) return;
+  // Keep steering batches at idle units until the queue or the units run
+  // out. (One batch per call per unit; each unit becomes busy.)
+  while (!pending_.empty()) {
+    // Any request with unlogged sectors left?
+    bool work = false;
+    for (const PendingWrite& r : pending_)
+      if (r.logged + r.in_flight < r.count) {
+        work = true;
+        break;
+      }
+    if (!work) return;
+    LogUnit* unit = pick_idle_unit();
+    if (unit == nullptr) return;
+    const auto unit_id = static_cast<std::uint8_t>(unit - units_.data());
+    if (!service_on_unit(unit_id)) return;
+  }
+}
+
+bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
+  LogUnit& unit = units_[unit_id];
+  const disk::Geometry& geom = unit.device->geometry();
+  const disk::TrackId track = unit.allocator->current();
+  const std::uint32_t predicted = unit.predictor->predict_sector(track, sim_.now());
+  auto run = unit.allocator->free_run_from(predicted);
+  if (!run || run->length < 2) {
+    // The head's landing point leaves no room before the end of the
+    // track. Fall back to "the next closest free sector on the current
+    // track" (§3.1) — i.e. wait for the platter to come around — rather
+    // than skipping the track: a visited-but-unstamped track would leave
+    // stale record keys inside the live arc and break the monotonicity
+    // the recovery binary search depends on.
+    run = unit.allocator->free_run_from(0);
+    if (!run || run->length < 2) {
+      switch_track(unit_id);
+      return true;  // unit now busy repositioning; caller may try others
+    }
+  }
+
+  // ---- Build as many records as queue + free run allow ----
+  const disk::Lba base = geom.first_lba_of_track(track);
+  std::uint32_t cap = run->length;
+  std::uint32_t pos = run->first_sector;
+  const std::uint32_t first_pos = pos;
+  std::uint32_t requests_started = 0;
+  const std::uint32_t max_req = config_.max_requests_per_physical;
+
+  unit.inflight.clear();
+  std::size_t qi = 0;
+
+  while (cap >= 2) {
+    // Skip requests already fully placed.
+    while (qi < pending_.size() &&
+           pending_[qi].logged + pending_[qi].in_flight == pending_[qi].count)
+      ++qi;
+    if (qi >= pending_.size()) break;
+    if (max_req != 0 && requests_started >= max_req && pending_[qi].in_flight == 0) break;
+
+    BuiltRecord rec;
+    rec.header_lba = base + pos;
+    rec.header.epoch = epoch_;
+    rec.header.sequence_id = next_seq_++;
+    rec.header.prev_sect = last_record_ptr_;
+    const std::uint32_t self_ptr =
+        encode_log_ptr(unit_id, static_cast<std::uint32_t>(rec.header_lba));
+    last_record_ptr_ = self_ptr;
+    // log_head: oldest live record, else the first record of this batch,
+    // else this record itself.
+    const std::uint32_t batch_head =
+        !unit.inflight.empty()
+            ? encode_log_ptr(unit_id, static_cast<std::uint32_t>(unit.inflight.front().header_lba))
+            : self_ptr;
+    rec.header.log_head = oldest_live_ptr_or(batch_head);
+    ++pos;
+    --cap;
+
+    std::uint32_t payload = 0;
+    bool rec_direct = false;  // meaningful once payload > 0
+    const disk::Lba payload_lba = base + pos;
+    while (qi < pending_.size() && payload < kMaxTrailBatch && cap > 0) {
+      PendingWrite& r = pending_[qi];
+      const std::uint32_t remaining = r.count - r.logged - r.in_flight;
+      if (remaining == 0) {
+        ++qi;
+        continue;
+      }
+      // A record carries either block writes or direct-log payload, never
+      // both (their lifecycles differ: write-back vs explicit release).
+      if (payload > 0 && r.direct != rec_direct) break;
+      if (max_req != 0 && requests_started >= max_req && r.in_flight == 0) break;
+      const std::uint32_t take = std::min({remaining, kMaxTrailBatch - payload, cap});
+      if (r.in_flight == 0 && r.logged == 0) ++requests_started;
+      if (payload == 0) rec_direct = r.direct;
+      const std::uint32_t req_off = r.logged + r.in_flight;
+      rec.parts.push_back(BuiltRecord::Part{qi, req_off, take});
+      for (std::uint32_t s = 0; s < take; ++s) {
+        RecordEntry e;
+        e.log_lba = static_cast<std::uint32_t>(payload_lba + payload + s);
+        if (r.direct) {
+          e.data_major = kDirectLogMajor;
+          e.data_minor = 0;
+          e.data_lba = static_cast<std::uint32_t>(
+              r.cookie + static_cast<std::uint64_t>(req_off + s) * disk::kSectorSize);
+        } else {
+          e.data_lba = static_cast<std::uint32_t>(r.addr.lba + req_off + s);
+          e.data_major = r.addr.device.major();
+          e.data_minor = r.addr.device.minor();
+        }
+        rec.header.entries.push_back(e);
+      }
+      r.in_flight += take;
+      payload += take;
+      cap -= take;
+    }
+    if (payload == 0) {
+      // Nothing fit after the header (request cap hit mid-build).
+      --pos;
+      ++cap;
+      last_record_ptr_ = rec.header.prev_sect;
+      --next_seq_;
+      break;
+    }
+    rec.header.batch_size = payload;
+    pos += payload;
+    unit.inflight.push_back(std::move(rec));
+  }
+
+  if (unit.inflight.empty()) return false;  // nothing serviceable right now
+
+  // ---- Serialize: [hdr][escaped payload]... contiguous from first_pos ----
+  const std::uint32_t total = pos - first_pos;
+  std::vector<std::byte> image(static_cast<std::size_t>(total) * disk::kSectorSize);
+  std::size_t off = 0;
+  for (BuiltRecord& rec : unit.inflight) {
+    const std::size_t header_off = off;
+    off += disk::kSectorSize;
+    const std::size_t payload_off = off;
+    for (const BuiltRecord::Part& part : rec.parts) {
+      const PendingWrite& r = pending_[part.request];
+      std::memcpy(image.data() + off,
+                  r.data.data() + static_cast<std::size_t>(part.offset) * disk::kSectorSize,
+                  static_cast<std::size_t>(part.count) * disk::kSectorSize);
+      off += static_cast<std::size_t>(part.count) * disk::kSectorSize;
+    }
+    // Escape payload first bytes; stash originals in the header.
+    for (std::uint32_t s = 0; s < rec.header.batch_size; ++s) {
+      std::span<std::byte> sector(
+          image.data() + payload_off + static_cast<std::size_t>(s) * disk::kSectorSize,
+          disk::kSectorSize);
+      rec.header.entries[s].first_data_byte = escape_payload_sector(sector);
+    }
+    rec.header.payload_crc = payload_image_crc(std::span<const std::byte>(
+        image.data() + payload_off,
+        static_cast<std::size_t>(rec.header.batch_size) * disk::kSectorSize));
+    serialize_record_header(rec.header,
+                            std::span<std::byte>(image.data() + header_off, disk::kSectorSize));
+  }
+
+  unit.allocator->occupy(first_pos, total, static_cast<std::uint32_t>(unit.inflight.size()));
+  unit.busy = true;
+  const std::uint32_t last_sector = pos - 1;
+  auto alive = alive_;
+  unit.device->write(base + first_pos, total, image, [this, alive, unit_id, last_sector] {
+    if (!*alive) return;
+    on_physical_write_done(unit_id, last_sector);
+  });
+  return true;
+}
+
+void TrailDriver::on_physical_write_done(std::uint8_t unit_id, std::uint32_t last_sector) {
+  LogUnit& unit = units_[unit_id];
+  const disk::TrackId track = unit.allocator->current();
+  unit.predictor->set_reference(sim_.now(), track, last_sector);
+  ++stats_.physical_log_writes;
+  stats_.records_written += unit.inflight.size();
+
+  // Adopt the records as live and pin their payloads; advance per-request
+  // progress for exactly the sectors this write carried.
+  std::vector<Completion> acks;
+  for (const BuiltRecord& rec : unit.inflight) {
+    const std::uint64_t key = record_key(rec.header);
+    const bool rec_direct = rec.header.entries[0].data_major == kDirectLogMajor;
+    LiveRecord live{unit_id, rec.header_lba, track, rec_direct, 0};
+    if (rec_direct)
+      live.end_cookie = rec.header.entries.back().data_lba + disk::kSectorSize;
+    live_records_[key] = live;
+    for (const BuiltRecord::Part& part : rec.parts) {
+      PendingWrite& r = pending_[part.request];
+      if (!r.direct) {
+        buffers_->register_write(
+            key, r.addr.device, r.addr.lba + part.offset,
+            std::span<const std::byte>(
+                r.data.data() + static_cast<std::size_t>(part.offset) * disk::kSectorSize,
+                static_cast<std::size_t>(part.count) * disk::kSectorSize));
+        // Cover-pin each part NOW: for requests split across physical
+        // writes, a superseding writer could otherwise settle and unpin
+        // these sectors before the full-range write-back is enqueued.
+        buffers_->pin_range(r.addr.device, r.addr.lba + part.offset, part.count);
+      }
+      stats_.sectors_logged += part.count;
+      r.logged += part.count;
+      r.in_flight -= part.count;
+      if (r.logged == r.count) {
+        ++stats_.requests_logged;
+        if (!r.direct) enqueue_writeback(r.addr.device, r.addr.lba, r.count);
+        if (r.cb) acks.push_back(std::move(r.cb));
+      }
+    }
+  }
+  while (!pending_.empty() && pending_.front().logged == pending_.front().count)
+    pending_.pop_front();
+  unit.inflight.clear();
+
+  // Acknowledge the synchronous writes (this is the low-latency return of
+  // §4.1; callbacks may immediately submit more writes).
+  for (Completion& cb : acks) cb();
+
+  if (crashed_) return;
+  if (unit.allocator->current_utilization() >= config_.track_utilization_threshold) {
+    switch_track(unit_id);
+  } else {
+    unit.busy = false;
+  }
+  service_log_queue();
+}
+
+void TrailDriver::switch_track(std::uint8_t unit_id) {
+  LogUnit& unit = units_[unit_id];
+  const auto next = unit.allocator->advance();
+  if (!next) {
+    // Every other track of this disk still carries live records: its ring
+    // is full (§4.4). Stall this unit until a write-back frees the next
+    // track (siblings keep serving).
+    unit.full = true;
+    unit.busy = false;
+    ++stats_.log_full_stalls;
+    return;
+  }
+  ++stats_.track_switches;
+  unit.busy = true;
+
+  // Aim the repositioning read at the sector of the next track that will
+  // be closest to the head once the switch completes — estimated from
+  // published drive characteristics only (spec-sheet seek numbers + the
+  // calibrated δ), never from the device model's internals.
+  const disk::Geometry& geom = unit.device->geometry();
+  const disk::TrackId cur = unit.predictor->reference_track();
+  const sim::Duration move = unit.seek.reposition_time(
+      geom.cylinder_of_track(cur), geom.surface_of_track(cur), geom.cylinder_of_track(*next),
+      geom.surface_of_track(*next));
+  const sim::TimePoint arrival = sim_.now() + config_.delta + move;
+  const std::uint32_t spt = geom.spt_of_track(*next);
+  const std::uint32_t target =
+      (geom.sector_at_angle(*next, unit.predictor->angle_at(arrival)) + 2) % spt;
+
+  auto alive = alive_;
+  unit.device->read(geom.first_lba_of_track(*next) + target, 1, unit.scratch,
+                    [this, alive, unit_id, next = *next, target] {
+                      if (!*alive) return;
+                      LogUnit& u = units_[unit_id];
+                      u.predictor->set_reference(sim_.now(), next, target);
+                      u.busy = false;
+                      service_log_queue();
+                    });
+}
+
+void TrailDriver::on_record_durable(RecordId id) {
+  auto it = live_records_.find(id);
+  if (it == live_records_.end())
+    throw std::logic_error("TrailDriver: durable notification for unknown record");
+  const LiveRecord rec = it->second;
+  live_records_.erase(it);
+  units_.at(rec.unit).allocator->release_record(rec.track);
+  // A track may have been freed: retry any stalled unit's track switch.
+  for (std::uint8_t u = 0; u < units_.size(); ++u) {
+    if (!units_[u].full) continue;
+    units_[u].full = false;
+    switch_track(u);
+  }
+  if (!pending_.empty()) service_log_queue();
+}
+
+void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32_t count) {
+  // The range's sectors are already cover-pinned (at registration);
+  // the dispatch/skip paths below release exactly one pin per sector.
+  ++stats_.writebacks;
+
+  io::PendingIo io;
+  io.is_write = true;
+  io.lba = lba;
+  io.count = count;
+  io.priority = 1;  // below reads (§4.3)
+  auto alive = alive_;
+  // Skip at dispatch when a newer overlapping write-back already settled
+  // every sector (§4.2's skip/cancel). The predicate releases the pin so
+  // it must be evaluated exactly once, which DeviceQueue guarantees.
+  io.cancelled = [this, alive, dev, lba, count] {
+    if (!*alive) return true;
+    if (!buffers_->range_settled(dev, lba, count)) return false;
+    buffers_->unpin_range(dev, lba, count);
+    ++stats_.writebacks_skipped;
+    return true;
+  };
+  auto versions = std::make_shared<std::vector<std::uint64_t>>();
+  io.materialize = [this, alive, dev, lba, count, versions]() -> std::vector<std::byte> {
+    if (!*alive) return std::vector<std::byte>(count * disk::kSectorSize);
+    BufferManager::Image img = buffers_->snapshot(dev, lba, count);
+    *versions = std::move(img.versions);
+    return std::move(img.data);
+  };
+  io.on_complete = [this, alive, dev, lba, count, versions] {
+    if (!*alive) return;
+    if (versions->empty()) return;  // the skip path already cleaned up
+    stats_.writeback_sectors += count;
+    buffers_->mark_durable(dev, lba, *versions);
+    buffers_->unpin_range(dev, lba, count);
+  };
+  data_queue(dev).submit(std::move(io));
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void TrailDriver::submit_read(io::BlockAddr addr, std::uint32_t count, std::span<std::byte> out,
+                              Completion cb) {
+  if (crashed_) return;
+  if (!mounted_) throw std::logic_error("TrailDriver: not mounted");
+  ++stats_.reads;
+  if (buffers_->covers(addr.device, addr.lba, count)) {
+    ++stats_.read_buffer_hits;
+    buffers_->overlay(addr.device, addr.lba, count, out);
+    auto alive = alive_;
+    sim_.schedule(kBufferReadDelay, [alive, cb = std::move(cb)] {
+      if (*alive && cb) cb();
+    });
+    return;
+  }
+  io::PendingIo io;
+  io.is_write = false;
+  io.lba = addr.lba;
+  io.count = count;
+  io.out = out;
+  io.priority = 0;  // reads above write-backs (§4.3)
+  auto alive = alive_;
+  io.on_complete = [this, alive, addr, count, out, cb = std::move(cb)] {
+    if (!*alive) return;
+    // Pinned sectors are newer than the data disk: overlay them.
+    buffers_->overlay(addr.device, addr.lba, count, out);
+    if (cb) cb();
+  };
+  data_queue(addr.device).submit(std::move(io));
+}
+
+// ---------------------------------------------------------------------------
+// Drain & idle repositioning
+// ---------------------------------------------------------------------------
+
+void TrailDriver::drain(Completion cb) {
+  auto drained = [this] {
+    if (!pending_.empty() || buffers_->pending_records() != 0) return false;
+    for (const LogUnit& unit : units_)
+      if (unit.busy) return false;
+    for (const auto& q : data_queues_)
+      if (!q->idle()) return false;
+    return true;
+  };
+  auto alive = alive_;
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, alive, drained, cb = std::move(cb), poll]() mutable {
+    if (!*alive) return;
+    if (drained()) {
+      if (cb) cb();
+      *poll = nullptr;  // break the self-reference cycle (we run as a copy)
+      return;
+    }
+    sim_.schedule(sim::micros(500), *poll);
+  };
+  // Always execute a copy scheduled through the simulator so the stored
+  // closure can safely null itself out on completion.
+  sim_.schedule(sim::Duration{0}, *poll);
+}
+
+void TrailDriver::arm_idle_timer() {
+  if (config_.idle_reposition_period <= sim::Duration{0}) return;
+  auto alive = alive_;
+  idle_timer_ = sim_.schedule(config_.idle_reposition_period, [this, alive] {
+    if (!*alive || !mounted_ || crashed_) return;
+    if (!pending_.empty()) {
+      arm_idle_timer();  // busy: the next write refreshes the references
+      return;
+    }
+    // Refresh every idle unit's prediction reference with a read at the
+    // predicted position (cost hidden in idle time, §3.1).
+    for (std::uint8_t u = 0; u < units_.size(); ++u) {
+      LogUnit& unit = units_[u];
+      if (unit.busy || unit.full) continue;
+      const disk::TrackId track = unit.allocator->current();
+      const std::uint32_t target = unit.predictor->predict_sector(track, sim_.now());
+      unit.busy = true;
+      unit.device->read(unit.device->geometry().first_lba_of_track(track) + target, 1,
+                        unit.scratch, [this, alive, u, track, target] {
+                          if (!*alive) return;
+                          LogUnit& uu = units_[u];
+                          uu.predictor->set_reference(sim_.now(), track, target);
+                          ++stats_.idle_repositions;
+                          uu.busy = false;
+                          if (!pending_.empty()) service_log_queue();
+                        });
+    }
+    arm_idle_timer();
+  });
+}
+
+}  // namespace trail::core

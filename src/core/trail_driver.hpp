@@ -1,0 +1,257 @@
+// The Trail driver (§4): a BlockDriver that services synchronous writes
+// at log-disk transfer speed.
+//
+// Write path (§4.2): requests queue in the log queue; whenever a log
+// disk is free, everything queued is batched into one physical write
+// placed at the next free sector at/after the predicted head position on
+// that disk's current log track. Completion of that physical write *is*
+// the synchronous-write acknowledgement. The payload stays pinned in the
+// buffer manager and trickles to the data disks in the background; reads
+// are served from pinned memory when possible and otherwise hit the data
+// disks at higher priority than write-backs (§4.3).
+//
+// After each physical log write the driver moves that disk's head to the
+// closest sector of the next track (by issuing a read, exactly as the
+// paper does) once the track's utilization exceeds the configured
+// threshold (30% in the paper), maintaining the invariant that the head
+// always sits on a track with room for the next batch. An idle timer
+// repositions periodically so the prediction references never go stale
+// (§3.1).
+//
+// Multiple log disks (§5.1's final optimization) are supported: while one
+// disk repositions, the next batch is steered to an idle one, hiding the
+// repositioning overhead entirely. Record pointers encode (disk, LBA) so
+// the recovery chain crosses disks; each disk keeps its own circular
+// track ring, head predictor, and header replicas.
+//
+// Mount/unmount implement the crash_var protocol of §3.3: mount finds
+// crash_var == 0 => run recovery (write-back or adopt-pending per
+// config), then stamps a new epoch with crash_var = 0; a clean unmount
+// drains write-back and stamps crash_var = 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/buffer_manager.hpp"
+#include "core/format_tool.hpp"
+#include "core/head_predictor.hpp"
+#include "core/log_format.hpp"
+#include "core/recovery.hpp"
+#include "core/track_allocator.hpp"
+#include "disk/disk_device.hpp"
+#include "disk/seek_model.hpp"
+#include "io/block.hpp"
+#include "io/device_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail::core {
+
+struct TrailConfig {
+  /// Track-utilization threshold beyond which the head moves to the next
+  /// track after a write (0.30 in the prototype, §4.2). 0 reproduces the
+  /// move-after-every-write scheme of [7]; 1 packs tracks completely.
+  double track_utilization_threshold = 0.30;
+  /// δ — head-prediction lead time covering command-processing overhead
+  /// (§3.1). Duration{0} means "use the calibrated-equivalent default",
+  /// i.e. the log-disk profile's published command overhead.
+  sim::Duration delta{0};
+  /// Period of the idle-time head repositioning that keeps the prediction
+  /// references fresh (§3.1). Duration{0} disables it (ablation).
+  sim::Duration idle_reposition_period = sim::millis(500);
+  /// Max *requests* folded into one physical log write; 0 = unlimited.
+  /// Sweeping this reproduces Table 1; 1 disables batching.
+  std::uint32_t max_requests_per_physical = 0;
+  /// Recovery policy at mount (Fig. 4b): write pending records back to the
+  /// data disks before resuming, or adopt them as live state and let the
+  /// normal write-back path drain them.
+  bool recovery_write_back = true;
+  /// Force the O(N) sequential locate during recovery (ablation).
+  bool recovery_sequential_locate = false;
+};
+
+struct TrailStats {
+  std::uint64_t requests_logged = 0;    // acknowledged synchronous writes
+  std::uint64_t sectors_logged = 0;     // payload sectors on the log disks
+  std::uint64_t physical_log_writes = 0;
+  std::uint64_t records_written = 0;    // record headers (>= physical writes)
+  std::uint64_t track_switches = 0;     // utilization-triggered repositions
+  std::uint64_t idle_repositions = 0;
+  std::uint64_t log_full_stalls = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_buffer_hits = 0;   // served entirely from pinned memory
+  std::uint64_t writebacks = 0;
+  std::uint64_t writeback_sectors = 0;
+  std::uint64_t writebacks_skipped = 0;  // superseded before dispatch (§4.2)
+
+  /// Mean requests per physical log write (the batching factor).
+  [[nodiscard]] double mean_batch_size() const {
+    return physical_log_writes == 0
+               ? 0.0
+               : static_cast<double>(requests_logged) / static_cast<double>(physical_log_writes);
+  }
+};
+
+class TrailDriver final : public io::BlockDriver {
+ public:
+  /// Single log disk (the paper's prototype). Must be formatted.
+  TrailDriver(sim::Simulator& sim, disk::DiskDevice& log_disk, TrailConfig config = {});
+  /// Multiple log disks (§5.1's final optimization). All must be
+  /// formatted; 1..15 disks.
+  TrailDriver(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
+              TrailConfig config = {});
+  ~TrailDriver() override;
+
+  /// Register a data disk; returns its DeviceId.
+  io::DeviceId add_data_disk(disk::DiskDevice& device);
+
+  /// Boot the driver: read the disk headers, recover if the previous
+  /// epoch crashed, stamp the new epoch, and position the heads. Drives
+  /// the simulator until complete (the machine is booting).
+  void mount();
+
+  /// Clean shutdown: drain every pending write-back, then stamp
+  /// crash_var = 1. Drives the simulator until complete.
+  void unmount();
+
+  /// Power failure: halt all devices mid-command (torn writes included)
+  /// and stop all driver activity. The SectorStores survive; build a new
+  /// driver on the same devices (after restart()) and mount() to recover.
+  void crash();
+
+  [[nodiscard]] bool mounted() const { return mounted_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t log_disk_count() const { return units_.size(); }
+
+  // ---- direct logging (§6 future work) ----
+  /// Append raw client-log bytes as a Trail record (no data-disk home, no
+  /// write-back). `cookie` is the byte offset of `bytes` in the client's
+  /// logical log (monotonically increasing). The completion fires when the
+  /// bytes are durable on a log disk. The record's tracks stay live until
+  /// release_direct_before().
+  void append_direct(std::span<const std::byte> bytes, std::uint64_t cookie, Completion cb);
+
+  /// The client's checkpoint advanced: direct records whose payload ends
+  /// at or before `cookie` are no longer needed; free their log tracks.
+  void release_direct_before(std::uint64_t cookie);
+
+  /// Direct-log records found by the last mount's recovery, ascending by
+  /// key; payloads carry the client's log bytes (cookie = first entry's
+  /// data_lba). The client replays from these.
+  [[nodiscard]] const std::vector<RecoveredRecord>& recovered_direct_log() const {
+    return recovered_direct_;
+  }
+
+  // BlockDriver interface.
+  void submit_write(io::BlockAddr addr, std::uint32_t count, std::span<const std::byte> data,
+                    Completion cb) override;
+  void submit_read(io::BlockAddr addr, std::uint32_t count, std::span<std::byte> out,
+                   Completion cb) override;
+  void drain(Completion cb) override;
+
+  [[nodiscard]] const TrailStats& stats() const { return stats_; }
+  [[nodiscard]] const RecoveryStats& last_recovery() const { return last_recovery_; }
+  /// Allocator / predictor of log disk 0 (stats & tests); use the unit
+  /// accessors for multi-log-disk setups.
+  [[nodiscard]] const TrackAllocator& allocator() const { return *units_[0].allocator; }
+  [[nodiscard]] const HeadPredictor& predictor() const { return *units_[0].predictor; }
+  [[nodiscard]] const TrackAllocator& allocator_of(std::size_t unit) const {
+    return *units_.at(unit).allocator;
+  }
+  [[nodiscard]] const BufferManager& buffers() const { return *buffers_; }
+  [[nodiscard]] const TrailConfig& config() const { return config_; }
+
+  /// Pending synchronous writes not yet on a log disk (queue depth).
+  [[nodiscard]] std::size_t log_queue_depth() const { return pending_.size(); }
+
+ private:
+  struct PendingWrite {
+    io::BlockAddr addr;
+    std::uint32_t count = 0;
+    std::vector<std::byte> data;
+    Completion cb;
+    std::uint32_t logged = 0;     // sectors durable on a log disk
+    std::uint32_t in_flight = 0;  // sectors in in-flight physical writes
+    bool direct = false;          // direct-log payload (no write-back)
+    std::uint64_t cookie = 0;     // direct: byte offset in the client log
+  };
+  struct LiveRecord {
+    std::uint8_t unit = 0;
+    disk::Lba header_lba = 0;
+    disk::TrackId track = 0;
+    bool direct = false;
+    std::uint64_t end_cookie = 0;  // direct: one past the last payload byte
+  };
+  /// A record being carried by an in-flight physical write.
+  struct BuiltRecord {
+    RecordHeader header;
+    disk::Lba header_lba = 0;
+    // (request index in pending_, sector offset in request, sector count)
+    struct Part {
+      std::size_t request = 0;
+      std::uint32_t offset = 0;
+      std::uint32_t count = 0;
+    };
+    std::vector<Part> parts;
+  };
+  /// One log disk and its driving state.
+  struct LogUnit {
+    disk::DiskDevice* device = nullptr;
+    LogDiskLayout layout;
+    disk::SeekModel seek;
+    std::unique_ptr<HeadPredictor> predictor;
+    std::unique_ptr<TrackAllocator> allocator;
+    bool busy = false;  // physical write or repositioning in flight
+    bool full = false;  // ring exhausted: next track still live
+    std::vector<BuiltRecord> inflight;  // records of the in-flight write
+    disk::SectorBuf scratch{};
+
+    LogUnit(disk::DiskDevice& dev)
+        : device(&dev), layout(dev.geometry()), seek(dev.profile().seek) {}
+  };
+
+  [[nodiscard]] LogUnit* pick_idle_unit();
+  void service_log_queue();
+  bool service_on_unit(std::uint8_t unit_id);
+  void on_physical_write_done(std::uint8_t unit_id, std::uint32_t last_sector);
+  void switch_track(std::uint8_t unit_id);
+  void on_record_durable(RecordId id);
+  void enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32_t count);
+  void arm_idle_timer();
+  void position_heads_initial();
+  [[nodiscard]] io::DeviceQueue& data_queue(io::DeviceId dev);
+  void run_sim_until(const std::function<bool()>& done, const char* what);
+  void adopt_recovered(std::vector<RecoveredRecord> records);
+  [[nodiscard]] std::uint32_t oldest_live_ptr_or(std::uint32_t fallback) const;
+
+  sim::Simulator& sim_;
+  TrailConfig config_;
+  std::vector<LogUnit> units_;
+  std::uint8_t next_unit_hint_ = 0;  // round-robin start for unit picking
+  std::unique_ptr<BufferManager> buffers_;
+  std::vector<std::unique_ptr<io::DeviceQueue>> data_queues_;
+  std::vector<disk::DiskDevice*> data_disks_;
+
+  bool mounted_ = false;
+  bool crashed_ = false;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t last_record_ptr_ = kNoPrevRecord;  // prev_sect chain tail
+
+  std::deque<PendingWrite> pending_;
+
+  /// Live (not fully written back) records, keyed by record_key: the
+  /// in-memory mirror of the log's active portion; begin() is log_head.
+  std::map<std::uint64_t, LiveRecord> live_records_;
+
+  TrailStats stats_;
+  RecoveryStats last_recovery_;
+  std::vector<RecoveredRecord> recovered_direct_;
+  sim::EventId idle_timer_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace trail::core

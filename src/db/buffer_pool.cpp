@@ -1,0 +1,189 @@
+#include "db/buffer_pool.hpp"
+
+#include <stdexcept>
+
+namespace trail::db {
+
+namespace {
+/// CPU cost charged for a buffer-cache hit.
+constexpr sim::Duration kHitDelay = sim::micros(1);
+}  // namespace
+
+BufferPool::BufferPool(sim::Simulator& sim, std::size_t capacity_pages, LogManager* wal)
+    : sim_(sim), capacity_(capacity_pages), wal_(wal) {
+  if (capacity_ == 0) throw std::invalid_argument("BufferPool: zero capacity");
+}
+
+std::uint32_t BufferPool::register_file(PageFile& file) {
+  files_.push_back(&file);
+  return static_cast<std::uint32_t>(files_.size() - 1);
+}
+
+void BufferPool::touch(const FrameKey& key, Frame& frame) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(key);
+  frame.lru_pos = lru_.begin();
+}
+
+BufferPool::Frame& BufferPool::frame_at(std::uint32_t file_id, PageNo page) {
+  auto it = frames_.find(FrameKey{file_id, page});
+  if (it == frames_.end()) throw std::logic_error("BufferPool: page not resident");
+  return *it->second;
+}
+
+void BufferPool::fetch(std::uint32_t file_id, PageNo page,
+                       std::function<void(std::span<std::byte>)> use) {
+  const FrameKey key{file_id, page};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    Frame& frame = *it->second;
+    touch(key, frame);
+    if (frame.loading) {
+      frame.waiters.push_back(std::move(use));
+      return;
+    }
+    ++stats_.hits;
+    // Charge a tiny CPU cost; run asynchronously to bound stack depth.
+    Frame* fp = it->second.get();
+    sim_.schedule(kHitDelay, [fp, use = std::move(use)] { use(fp->data); });
+    return;
+  }
+
+  // Miss: allocate a frame and read the page.
+  ++stats_.misses;
+  auto frame = std::make_unique<Frame>();
+  frame->data.resize(kPageSize);
+  frame->loading = true;
+  frame->waiters.push_back(std::move(use));
+  lru_.push_front(key);
+  frame->lru_pos = lru_.begin();
+  Frame* fp = frame.get();
+  frames_.emplace(key, std::move(frame));
+  maybe_evict();
+
+  auto alive = alive_;
+  files_.at(file_id)->read_page(page, fp->data, [alive, fp] {
+    if (!*alive) return;
+    fp->loading = false;
+    auto waiters = std::move(fp->waiters);
+    fp->waiters.clear();
+    for (auto& w : waiters) w(fp->data);
+  });
+}
+
+void BufferPool::mark_dirty(std::uint32_t file_id, PageNo page) {
+  Frame& f = frame_at(file_id, page);
+  f.dirty = true;
+  // WAL rule bookkeeping: everything logged so far (including the record
+  // for this change — transactions append before applying) must reach
+  // disk before this page may.
+  if (wal_ != nullptr) f.flush_lsn = wal_->next_lsn();
+}
+
+void BufferPool::pin(std::uint32_t file_id, PageNo page) { ++frame_at(file_id, page).pins; }
+
+void BufferPool::unpin(std::uint32_t file_id, PageNo page) {
+  Frame& f = frame_at(file_id, page);
+  if (f.pins == 0) throw std::logic_error("BufferPool: unpin of unpinned page");
+  --f.pins;
+}
+
+void BufferPool::maybe_evict() {
+  while (frames_.size() > capacity_) {
+    // Scan from the LRU tail for an evictable frame.
+    auto pos = lru_.end();
+    Frame* victim = nullptr;
+    FrameKey victim_key{};
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto fit = frames_.find(*it);
+      Frame& f = *fit->second;
+      if (f.pins > 0 || f.loading || f.flushing) continue;
+      victim = &f;
+      victim_key = *it;
+      pos = std::next(it).base();
+      break;
+    }
+    if (victim == nullptr) return;  // everything pinned/in-flight: soft cap
+
+    if (!victim->dirty) {
+      lru_.erase(pos);
+      frames_.erase(victim_key);
+      ++stats_.evictions;
+      continue;
+    }
+    // Dirty victim: honour the WAL rule, write it back, then drop it.
+    ++stats_.dirty_writebacks;
+    victim->flushing = true;
+    Frame* fp = victim;
+    const FrameKey key = victim_key;
+    auto alive = alive_;
+    auto write_page = [this, alive, fp, key] {
+      if (!*alive) return;
+      files_.at(key.file)->write_page(key.page, fp->data, [this, alive, fp, key] {
+        if (!*alive) return;
+        fp->flushing = false;
+        fp->dirty = false;
+        // Drop it now unless someone touched it meanwhile.
+        auto it = frames_.find(key);
+        if (it != frames_.end() && it->second.get() == fp && fp->pins == 0 && !fp->loading) {
+          lru_.erase(fp->lru_pos);
+          frames_.erase(it);
+          ++stats_.evictions;
+        }
+        maybe_evict();
+      });
+    };
+    if (wal_ != nullptr)
+      wal_->flush_until(fp->flush_lsn, write_page);
+    else
+      write_page();
+    return;  // the rest of the eviction continues asynchronously
+  }
+}
+
+void BufferPool::flush_dirty(std::function<void()> done) {
+  auto pending = std::make_shared<std::size_t>(0);
+  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  for (auto& [key, frame] : frames_) {
+    if (!frame->dirty || frame->pins > 0 || frame->loading || frame->flushing) continue;
+    ++*pending;
+    ++stats_.checkpoint_writes;
+    Frame* fp = frame.get();
+    fp->flushing = true;
+    PageFile* file = files_.at(key.file);
+    const PageNo page_no = key.page;
+    auto alive = alive_;
+    auto write_page = [alive, file, page_no, fp, pending, done_shared] {
+      if (!*alive) return;
+      file->write_page(page_no, fp->data, [alive, fp, pending, done_shared] {
+        if (!*alive) return;
+        fp->flushing = false;
+        fp->dirty = false;
+        if (--*pending == 0 && *done_shared) (*done_shared)();
+      });
+    };
+    if (wal_ != nullptr)
+      wal_->flush_until(fp->flush_lsn, write_page);
+    else
+      write_page();
+  }
+  if (*pending == 0 && *done_shared) (*done_shared)();
+}
+
+void BufferPool::reset() {
+  // In-flight completions for dropped frames must become no-ops: swap the
+  // liveness token.
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+  frames_.clear();
+  lru_.clear();
+}
+
+std::size_t BufferPool::dirty_pages() const {
+  std::size_t n = 0;
+  for (const auto& [key, frame] : frames_)
+    if (frame->dirty) ++n;
+  return n;
+}
+
+}  // namespace trail::db

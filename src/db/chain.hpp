@@ -1,0 +1,52 @@
+// Minimal sequential-async helper: runs a list of continuation-passing
+// steps in order. Keeps transaction logic readable without coroutines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace trail::db {
+
+/// Each step receives a `next` thunk and must eventually call it exactly
+/// once (possibly synchronously). `Chain::run` owns itself until done.
+class Chain {
+ public:
+  using Next = std::function<void()>;
+  using Step = std::function<void(Next)>;
+
+  Chain& then(Step step) {
+    steps_.push_back(std::move(step));
+    return *this;
+  }
+
+  /// Run all steps; invoke `done` after the last. The chain object may be
+  /// a temporary — state is moved into a shared holder.
+  void run(std::function<void()> done) && {
+    struct State {
+      std::vector<Step> steps;
+      std::function<void()> done;
+      std::size_t index = 0;
+    };
+    auto st = std::make_shared<State>(State{std::move(steps_), std::move(done), 0});
+    auto advance = std::make_shared<std::function<void()>>();
+    *advance = [st, advance] {
+      if (st->index >= st->steps.size()) {
+        if (st->done) st->done();
+        *advance = nullptr;  // break the self-cycle
+        return;
+      }
+      Step& step = st->steps[st->index++];
+      step(*advance);  // steps receive a copy; resetting *advance is safe
+    };
+    // Kick off through a copy so the stored closure can null itself out
+    // even when the chain is empty.
+    auto kick = *advance;
+    kick();
+  }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace trail::db

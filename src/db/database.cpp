@@ -1,0 +1,492 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/crc32.hpp"
+#include "db/chain.hpp"
+
+namespace trail::db {
+
+// ---------------------------------------------------------------------------
+// Txn
+// ---------------------------------------------------------------------------
+
+void Txn::get(TableId table, Key key, std::function<void(bool, RowBuf)> cb) {
+  db_->table(table).get(key, std::move(cb));
+}
+
+void Txn::get_for_update(TableId table, Key key,
+                         std::function<void(bool, bool, RowBuf)> cb) {
+  db_->locks_->lock(id_, table, key, [this, table, key, cb = std::move(cb)](bool granted) {
+    if (!granted) {
+      cb(false, false, {});
+      return;
+    }
+    db_->table(table).get(key,
+                          [cb = std::move(cb)](bool found, RowBuf row) {
+                            cb(true, found, std::move(row));
+                          });
+  });
+}
+
+void Txn::record_undo_and_pin(TableId table, Key key, bool existed, RowBuf before) {
+  const auto tk = std::make_pair(table, key);
+  if (!touched_.contains(tk)) {
+    touched_[tk] = true;
+    undo_.push_back(Undo{table, key, existed, std::move(before)});
+  }
+}
+
+void Txn::write_common(TableId table, Key key, RowBuf row, WalRecordType type,
+                       std::function<void(bool)> cb) {
+  db_->locks_->lock(id_, table, key, [this, table, key, row = std::move(row), type,
+                                      cb = std::move(cb)](bool granted) mutable {
+    if (!granted) {
+      cb(false);
+      return;
+    }
+    Table& t = db_->table(table);
+    // Capture the before-image for undo (first touch only).
+    t.get(key, [this, table, key, row = std::move(row), type, &t,
+                cb = std::move(cb)](bool found, RowBuf before) mutable {
+      record_undo_and_pin(table, key, found, std::move(before));
+      // Pin the row's page (for deletes: before the index entry goes; for
+      // updates of existing rows: now; for fresh inserts: after apply).
+      auto pin_current = [this, table, &t](Key k) {
+        if (const auto page = t.page_of(k)) {
+          t.pin_page(*page);
+          pins_.push_back(Pin{table, *page});
+        }
+      };
+      // WAL-before-apply: append the redo record first so the page's
+      // flush_lsn bound (set by mark_dirty during apply) covers it.
+      WalRecord rec;
+      rec.type = type;
+      rec.txn = id_;
+      rec.table = table;
+      rec.key = key;
+      if (type != WalRecordType::kDelete) rec.row = row;
+      const Lsn lsn = db_->wal_->append(rec);
+      if (first_lsn_ == kInvalidLsn) first_lsn_ = lsn;
+      last_lsn_ = lsn;
+
+      if (type == WalRecordType::kDelete) {
+        pin_current(key);
+        t.remove(key, [cb = std::move(cb)]() mutable { cb(true); });
+        return;
+      }
+      t.apply_image(key, row, [pin_current, key, cb = std::move(cb)]() mutable {
+        pin_current(key);
+        cb(true);
+      });
+    });
+  });
+}
+
+void Txn::update(TableId table, Key key, RowBuf row, std::function<void(bool)> cb) {
+  write_common(table, key, std::move(row), WalRecordType::kUpdate, std::move(cb));
+}
+
+void Txn::insert(TableId table, Key key, RowBuf row, std::function<void(bool)> cb) {
+  write_common(table, key, std::move(row), WalRecordType::kInsert, std::move(cb));
+}
+
+void Txn::remove(TableId table, Key key, std::function<void(bool)> cb) {
+  write_common(table, key, {}, WalRecordType::kDelete, std::move(cb));
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Database::Database(sim::Simulator& sim, io::BlockDriver& driver, io::DeviceId log_device,
+                   DbConfig config)
+    : sim_(sim), driver_(driver), log_device_(log_device), config_(config) {
+  WalConfig wal_config;
+  wal_config.region_base = io::BlockAddr{log_device, kMetaSectors};  // after the meta page
+  wal_config.region_sectors = config_.log_region_sectors;
+  wal_config.group_commit = config_.group_commit;
+  wal_config.group_commit_bytes = config_.log_buffer_bytes;
+  wal_ = std::make_unique<LogManager>(sim_, driver_, wal_config);
+  pool_ = std::make_unique<BufferPool>(sim_, config_.buffer_pool_pages, wal_.get());
+  locks_ = std::make_unique<LockManager>(sim_, config_.lock_timeout);
+  meta_base_ = 0;
+  wal_base_ = kMetaSectors;
+  alloc_cursor_[log_device.index()] =
+      kMetaSectors + config_.log_region_sectors;  // tables may share the log device
+}
+
+void Database::attach_filesystem(io::DeviceId id, fs::Filesystem& filesystem) {
+  if (!tables_.empty())
+    throw std::logic_error("Database: attach filesystems before create_table");
+  filesystems_[id.index()] = &filesystem;
+  if (id.index() != log_device_.index()) return;
+
+  // Move the WAL + meta page into files. Reopen them if they exist.
+  auto file_or_create = [&filesystem](const std::string& name, std::uint64_t sectors) {
+    if (const auto existing = filesystem.open(name)) return *existing;
+    return filesystem.create_offline(name, sectors);
+  };
+  const fs::FileInfo meta = file_or_create("db.meta", kMetaSectors);
+  const fs::FileInfo wal = file_or_create("wal.log", config_.log_region_sectors);
+  meta_base_ = meta.base;
+  wal_base_ = wal.base;
+
+  WalConfig wal_config;
+  wal_config.region_base = io::BlockAddr{log_device_, wal.base};
+  wal_config.region_sectors = config_.log_region_sectors;
+  wal_config.group_commit = config_.group_commit;
+  wal_config.group_commit_bytes = config_.log_buffer_bytes;
+  wal_ = std::make_unique<LogManager>(sim_, driver_, wal_config);
+  wal_->set_grow_hook([&filesystem](std::uint64_t new_sectors, std::function<void()> done) {
+    filesystem.record_append("wal.log", new_sectors, std::move(done));
+  });
+  pool_ = std::make_unique<BufferPool>(sim_, config_.buffer_pool_pages, wal_.get());
+}
+
+void Database::attach_device(io::DeviceId id, disk::DiskDevice& device) {
+  devices_[id.index()] = &device;
+}
+
+void Database::enable_direct_logging(core::TrailDriver& trail) {
+  direct_trail_ = &trail;
+  wal_->set_direct_backend(
+      [&trail](std::span<const std::byte> bytes, std::uint64_t cookie,
+               std::function<void()> done) {
+        trail.append_direct(bytes, cookie, std::move(done));
+      },
+      [&trail](std::uint64_t cookie) { trail.release_direct_before(cookie); });
+}
+
+TableId Database::create_table(const std::string& name, std::uint32_t row_size,
+                               std::uint64_t capacity_rows, io::DeviceId device) {
+  const std::uint32_t slot_bytes = 1 + 8 + row_size;
+  const std::uint32_t slots_per_page = static_cast<std::uint32_t>(kPageSize / slot_bytes);
+  if (slots_per_page == 0) throw std::invalid_argument("create_table: row too large");
+  const PageNo pages =
+      static_cast<PageNo>((capacity_rows + slots_per_page - 1) / slots_per_page);
+
+  disk::Lba base_lba;
+  if (auto fit = filesystems_.find(device.index()); fit != filesystems_.end()) {
+    const std::string file_name = "tbl." + name;
+    if (const auto existing = fit->second->open(file_name)) {
+      base_lba = existing->base;
+    } else {
+      base_lba = fit->second
+                     ->create_offline(file_name,
+                                      static_cast<std::uint64_t>(pages) * kSectorsPerPage)
+                     .base;
+    }
+  } else {
+    disk::Lba& cursor = alloc_cursor_[device.index()];  // starts at 0 for data devices
+    base_lba = cursor;
+    cursor += static_cast<disk::Lba>(pages) * kSectorsPerPage;
+  }
+  const io::BlockAddr base{device, base_lba};
+
+  auto file = std::make_unique<PageFile>(driver_, base, pages);
+  const std::uint32_t pool_file = pool_->register_file(*file);
+  disk::DiskDevice* dev = nullptr;
+  if (auto it = devices_.find(device.index()); it != devices_.end()) dev = it->second;
+
+  const auto id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(name, id, row_size, *pool_, pool_file, pages, dev,
+                                            file.get()));
+  files_.push_back(std::move(file));
+  return id;
+}
+
+disk::Lba Database::allocate_region(const std::string& name, std::uint64_t sectors,
+                                    io::DeviceId device) {
+  if (auto fit = filesystems_.find(device.index()); fit != filesystems_.end()) {
+    const std::string file_name = "reg." + name;
+    if (const auto existing = fit->second->open(file_name)) return existing->base;
+    return fit->second->create_offline(file_name, sectors).base;
+  }
+  disk::Lba& cursor = alloc_cursor_[device.index()];
+  const disk::Lba base = cursor;
+  cursor += sectors;
+  return base;
+}
+
+Table& Database::table_named(const std::string& name) {
+  for (auto& t : tables_)
+    if (t->name() == name) return *t;
+  throw std::out_of_range("Database: no table named " + name);
+}
+
+Txn& Database::begin() {
+  auto txn = std::make_unique<Txn>();
+  txn->db_ = this;
+  txn->id_ = next_txn_++;
+  txn->active_ = true;
+  Txn& ref = *txn;
+  active_txns_[ref.id_] = std::move(txn);
+  return ref;
+}
+
+void Database::release(Txn& txn) {
+  for (const Txn::Pin& pin : txn.pins_) tables_.at(pin.table)->unpin_page(pin.page);
+  txn.pins_.clear();
+  locks_->release_all(txn.id_);
+  txn.active_ = false;
+  active_txns_.erase(txn.id_);  // destroys txn
+}
+
+void Database::commit(Txn& txn, std::function<void(bool)> done) {
+  if (!txn.active_) throw std::logic_error("Database::commit: txn not active");
+  // Read-only transactions have nothing to make durable.
+  if (txn.first_lsn_ == kInvalidLsn) {
+    ++stats_.commits;
+    release(txn);
+    sim_.schedule(config_.cpu_per_txn, [done = std::move(done)] {
+      if (done) done(true);
+    });
+    return;
+  }
+  const TxnId id = txn.id_;
+  // Charge the transaction's commit-path compute before the log force.
+  auto alive = alive_;
+  sim_.schedule(config_.cpu_per_txn, [this, alive, id, done = std::move(done)]() mutable {
+    if (!*alive) return;
+    auto ait = active_txns_.find(id);
+    if (ait == active_txns_.end()) {
+      if (done) done(false);
+      return;
+    }
+    WalRecord commit_rec;
+    commit_rec.type = WalRecordType::kCommit;
+    commit_rec.txn = id;
+    const Lsn lsn = wal_->append(commit_rec);
+    finish_commit_at(lsn, id, std::move(done));
+  });
+}
+
+void Database::finish_commit_at(Lsn lsn, TxnId id, std::function<void(bool)> done) {
+  wal_->commit(lsn, [this, id, done = std::move(done)] {
+    auto it = active_txns_.find(id);
+    if (it == active_txns_.end()) {
+      if (done) done(false);
+      return;
+    }
+    ++stats_.commits;
+    release(*it->second);
+    maybe_auto_checkpoint();
+    if (done) done(true);
+  });
+}
+
+void Database::abort(Txn& txn, std::function<void()> done) {
+  if (!txn.active_) throw std::logic_error("Database::abort: txn not active");
+  // Restore before-images in reverse order.
+  Chain chain;
+  for (auto it = txn.undo_.rbegin(); it != txn.undo_.rend(); ++it) {
+    const Txn::Undo& u = *it;
+    chain.then([this, &u](Chain::Next next) {
+      Table& t = table(u.table);
+      if (u.existed)
+        t.apply_image(u.key, u.before, [next] { next(); });
+      else
+        t.remove(u.key, [next] { next(); });
+    });
+  }
+  const TxnId id = txn.id_;
+  std::move(chain).run([this, id, done = std::move(done)] {
+    auto it = active_txns_.find(id);
+    if (it != active_txns_.end()) {
+      ++stats_.aborts;
+      release(*it->second);
+    }
+    if (done) done();
+  });
+}
+
+void Database::maybe_auto_checkpoint() {
+  if (config_.checkpoint_every_bytes == 0 || checkpoint_running_) return;
+  if (wal_->next_lsn() - last_checkpoint_lsn_ < config_.checkpoint_every_bytes) return;
+  checkpoint([] {});
+}
+
+void Database::checkpoint(std::function<void()> done) {
+  if (checkpoint_running_) {
+    // Coalesce: the running checkpoint is close enough.
+    if (done) done();
+    return;
+  }
+  checkpoint_running_ = true;
+  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  auto alive = alive_;
+  // WAL rule first, then pages, then the checkpoint record + meta.
+  wal_->flush_all([this, alive, done_shared] {
+    if (!*alive) return;
+    pool_->flush_dirty([this, alive, done_shared] {
+      if (!*alive) return;
+      WalRecord rec;
+      rec.type = WalRecordType::kCheckpoint;
+      const Lsn ckpt_lsn = wal_->append(rec);
+      wal_->flush_all([this, alive, ckpt_lsn, done_shared] {
+        if (!*alive) return;
+        // Replay must start early enough to cover transactions that were
+        // in flight at the checkpoint (their pages were pinned, so their
+        // effects are only in the WAL).
+        Lsn replay_from = ckpt_lsn;
+        for (const auto& [id, txn] : active_txns_)
+          if (txn->first_lsn_ != kInvalidLsn) replay_from = std::min(replay_from, txn->first_lsn_);
+        write_meta(replay_from, [this, alive, replay_from, done_shared] {
+          if (!*alive) return;
+          last_checkpoint_lsn_ = replay_from;
+          wal_->set_truncate_point(replay_from);
+          checkpoint_running_ = false;
+          if (*done_shared) (*done_shared)();
+        });
+      });
+    });
+  });
+}
+
+void Database::write_meta(Lsn checkpoint_lsn, std::function<void()> done) {
+  auto page = std::make_shared<std::vector<std::byte>>(kPageSize);
+  auto& p = *page;
+  const char magic[8] = {'T', 'R', 'A', 'I', 'L', 'D', 'B', '1'};
+  std::memcpy(p.data(), magic, 8);
+  for (int i = 0; i < 8; ++i) p[8 + static_cast<std::size_t>(i)] =
+      std::byte(checkpoint_lsn >> (8 * i) & 0xFF);
+  const std::uint32_t crc =
+      core::crc32(std::span<const std::byte>(p.data(), 16));
+  for (int i = 0; i < 4; ++i) p[16 + static_cast<std::size_t>(i)] = std::byte(crc >> (8 * i) & 0xFF);
+  driver_.submit_write(io::BlockAddr{log_device_, meta_base_}, kMetaSectors, p,
+                       [page, done = std::move(done)] {
+                         if (done) done();
+                       });
+}
+
+std::optional<Lsn> Database::read_meta_offline() const {
+  auto it = devices_.find(log_device_.index());
+  if (it == devices_.end()) throw std::logic_error("Database: log device not attached");
+  std::vector<std::byte> p(kPageSize);
+  it->second->store().read(meta_base_, kMetaSectors, p);
+  if (std::memcmp(p.data(), "TRAILDB1", 8) != 0) return std::nullopt;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<std::uint32_t>(p[16 + static_cast<std::size_t>(i)]) << (8 * i);
+  if (stored != core::crc32(std::span<const std::byte>(p.data(), 16))) return std::nullopt;
+  Lsn lsn = 0;
+  for (int i = 0; i < 8; ++i) lsn |= static_cast<Lsn>(p[8 + static_cast<std::size_t>(i)]) << (8 * i);
+  return lsn;
+}
+
+Database::RecoveryReport Database::recover() {
+  RecoveryReport report;
+  pool_->reset();
+  for (auto& t : tables_) t->rebuild_index_offline();
+
+  report.checkpoint_lsn = read_meta_offline().value_or(0);
+  last_checkpoint_lsn_ = report.checkpoint_lsn;
+
+  const Lsn start_sector = report.checkpoint_lsn / disk::kSectorSize;
+  std::vector<std::byte> log_bytes;
+  if (direct_trail_ != nullptr) {
+    // Direct mode: the WAL bytes live in the Trail records its recovery
+    // adopted. Lay each record's payload at its cookie offset to rebuild
+    // the byte stream from the checkpoint onward.
+    Lsn max_end = report.checkpoint_lsn;
+    for (const core::RecoveredRecord& rec : direct_trail_->recovered_direct_log()) {
+      const Lsn end = static_cast<Lsn>(rec.header.entries.back().data_lba) + disk::kSectorSize;
+      max_end = std::max(max_end, end);
+    }
+    log_bytes.assign(static_cast<std::size_t>(
+                         max_end - start_sector * disk::kSectorSize + disk::kSectorSize),
+                     std::byte{0});
+    for (const core::RecoveredRecord& rec : direct_trail_->recovered_direct_log()) {
+      const Lsn cookie = rec.header.entries.front().data_lba;
+      if (cookie + rec.payload.size() <= start_sector * disk::kSectorSize) continue;
+      const Lsn base = start_sector * disk::kSectorSize;
+      const Lsn dst = cookie > base ? cookie - base : 0;
+      const std::size_t skip = cookie > base ? 0 : static_cast<std::size_t>(base - cookie);
+      if (skip >= rec.payload.size()) continue;
+      std::memcpy(log_bytes.data() + dst, rec.payload.data() + skip,
+                  rec.payload.size() - skip);
+    }
+  } else {
+    // Offline scan of the WAL region from the checkpoint.
+    auto it = devices_.find(log_device_.index());
+    if (it == devices_.end()) throw std::logic_error("Database: log device not attached");
+    disk::DiskDevice& dev = *it->second;
+    const std::uint64_t max_sectors = config_.log_region_sectors - start_sector;
+    log_bytes.resize(max_sectors * disk::kSectorSize);
+    // Read in chunks to keep peak allocations reasonable.
+    constexpr std::uint32_t kChunk = 2048;
+    for (std::uint64_t s = 0; s < max_sectors; s += kChunk) {
+      const auto n = static_cast<std::uint32_t>(std::min<std::uint64_t>(kChunk, max_sectors - s));
+      dev.store().read(wal_base_ + start_sector + s, n,
+                       std::span<std::byte>(log_bytes.data() + s * disk::kSectorSize,
+                                            static_cast<std::size_t>(n) * disk::kSectorSize));
+    }
+  }
+
+  // Decode records; group by txn; apply on commit.
+  std::map<TxnId, std::vector<WalRecord>> in_flight;
+  std::size_t off = report.checkpoint_lsn % disk::kSectorSize;
+  Lsn log_end = report.checkpoint_lsn;
+  for (;;) {
+    auto decoded = LogManager::decode(
+        std::span<const std::byte>(log_bytes.data() + off, log_bytes.size() - off));
+    if (!decoded) break;
+    WalRecord rec = std::move(decoded->first);
+    const std::size_t len = decoded->second;
+    // A stale record from an older generation of the region ends the log.
+    const Lsn expect_lsn = start_sector * disk::kSectorSize + off;
+    if (rec.lsn != expect_lsn) break;
+    off += len;
+    log_end = expect_lsn + len;
+    ++report.records_scanned;
+
+    switch (rec.type) {
+      case WalRecordType::kUpdate:
+      case WalRecordType::kInsert:
+      case WalRecordType::kDelete:
+        in_flight[rec.txn].push_back(std::move(rec));
+        break;
+      case WalRecordType::kCommit: {
+        auto txn_it = in_flight.find(rec.txn);
+        if (txn_it != in_flight.end()) {
+          for (const WalRecord& r : txn_it->second) {
+            Table& t = *tables_.at(r.table);
+            if (r.type == WalRecordType::kDelete)
+              t.remove_row_offline(r.key);
+            else
+              t.load_row_offline(r.key, r.row);
+            ++report.rows_applied;
+          }
+          in_flight.erase(txn_it);
+        }
+        ++report.txns_replayed;
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        break;
+    }
+  }
+
+  // Resume the WAL where the valid log ends.
+  if (direct_trail_ != nullptr) {
+    wal_->restore_direct(log_end);
+    // Records at or below the replayed end stay live until the next
+    // checkpoint truncates; nothing to do here.
+  } else {
+    // The partial tail sector's bytes are re-buffered so the next flush
+    // rewrites it coherently.
+    const Lsn tail_base = log_end / disk::kSectorSize * disk::kSectorSize;
+    std::vector<std::byte> tail(
+        log_bytes.begin() +
+            static_cast<std::ptrdiff_t>(tail_base - start_sector * disk::kSectorSize),
+        log_bytes.begin() +
+            static_cast<std::ptrdiff_t>(log_end - start_sector * disk::kSectorSize));
+    wal_->restore(log_end, std::move(tail));
+  }
+  return report;
+}
+
+}  // namespace trail::db

@@ -1,0 +1,213 @@
+// Database: the engine facade — tables + WAL + buffer pool + locks +
+// transactions + checkpointing + redo recovery.
+//
+// This is the reproduction's stand-in for the paper's Berkeley DB: the
+// pieces §5.2 exercises (synchronous log flushes at commit, group commit
+// by log-buffer size, bursty data-page I/O through a bounded cache,
+// record locking with timeout aborts) are real; the access methods are
+// hash-indexed fixed-size-row tables, which is all TPC-C needs.
+//
+// Transaction protocol: redo-only WAL + NO-STEAL buffer management.
+// Updates apply in place to pinned pages and append redo records; commit
+// appends a commit record and applies the flush policy; abort restores
+// before-images. Recovery (offline, at boot — after the block driver has
+// made the data platters current) rebuilds table indexes from the pages
+// and replays committed transactions from the last checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/buffer_pool.hpp"
+#include "db/lock_manager.hpp"
+#include "db/table.hpp"
+#include "db/types.hpp"
+#include "db/wal.hpp"
+#include "core/trail_driver.hpp"
+#include "fs/filesystem.hpp"
+#include "io/block.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail::db {
+
+struct DbConfig {
+  std::size_t buffer_pool_pages = 2048;               // 8 MB default cache
+  sim::Duration lock_timeout = sim::millis(500);
+  bool group_commit = false;
+  std::size_t log_buffer_bytes = 50 * 1024;           // paper's default
+  std::uint64_t log_region_sectors = 131'072;         // 64 MB log file
+  std::uint64_t checkpoint_every_bytes = 8ull << 20;  // 0 = manual only
+  sim::Duration cpu_per_txn = sim::micros(50);        // commit-path compute
+};
+
+struct DbStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+class Database;
+
+/// A transaction handle. All operations are continuation-passing; any
+/// callback receiving ok=false means a lock timed out and the caller must
+/// abort the transaction.
+class Txn {
+ public:
+  [[nodiscard]] TxnId id() const { return id_; }
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Unlocked read (read-committed against short X-locks).
+  void get(TableId table, Key key, std::function<void(bool found, RowBuf)> cb);
+  /// X-lock then read.
+  void get_for_update(TableId table, Key key,
+                      std::function<void(bool ok, bool found, RowBuf)> cb);
+  /// X-lock, apply in place, log redo. Insert-or-update semantics.
+  void update(TableId table, Key key, RowBuf row, std::function<void(bool ok)> cb);
+  void insert(TableId table, Key key, RowBuf row, std::function<void(bool ok)> cb);
+  void remove(TableId table, Key key, std::function<void(bool ok)> cb);
+
+ private:
+  friend class Database;
+  struct Undo {
+    TableId table;
+    Key key;
+    bool existed;
+    RowBuf before;
+  };
+  struct Pin {
+    TableId table;
+    PageNo page;
+  };
+
+  void write_common(TableId table, Key key, RowBuf row, WalRecordType type,
+                    std::function<void(bool)> cb);
+  void record_undo_and_pin(TableId table, Key key, bool existed, RowBuf before);
+
+  Database* db_ = nullptr;
+  TxnId id_ = 0;
+  bool active_ = false;
+  Lsn first_lsn_ = kInvalidLsn;
+  Lsn last_lsn_ = 0;
+  std::vector<Undo> undo_;
+  std::map<std::pair<TableId, Key>, bool> touched_;  // undo recorded?
+  std::vector<Pin> pins_;
+};
+
+class Database {
+ public:
+  /// `log_device` hosts the WAL region ([meta page][log bytes...] from
+  /// LBA 0); tables are carved from data devices by create_table.
+  Database(sim::Simulator& sim, io::BlockDriver& driver, io::DeviceId log_device,
+           DbConfig config = {});
+  ~Database() { *alive_ = false; }
+
+  /// Register the DiskDevice behind a DeviceId for offline access
+  /// (population, index rebuild, recovery). Required for every device
+  /// used by tables and for the log device.
+  void attach_device(io::DeviceId id, disk::DiskDevice& device);
+
+  /// Place this device's database structures in named files of an
+  /// "EXT2" filesystem instead of raw carved regions. Must be called
+  /// before create_table; when the log device gets a filesystem, the WAL
+  /// moves into a "wal.log" file whose O_SYNC appends also write the
+  /// inode (the paper's EXT2 logging cost), and the meta page into
+  /// "db.meta". Reopening an existing database picks up the same files.
+  void attach_filesystem(io::DeviceId id, fs::Filesystem& filesystem);
+
+  /// §6 future work: log straight onto the Trail log disk instead of into
+  /// a log-file region — commits become single Trail appends, checkpoint
+  /// truncation frees log tracks, and recovery replays from the records
+  /// Trail's own recovery found. Call before running transactions; the
+  /// driver passed to the constructor must be this TrailDriver.
+  void enable_direct_logging(core::TrailDriver& trail);
+
+  /// Create a table on `device`, sized for `capacity_rows`. Must be called
+  /// identically (same order) when re-opening an existing database.
+  TableId create_table(const std::string& name, std::uint32_t row_size,
+                       std::uint64_t capacity_rows, io::DeviceId device);
+
+  /// Carve a named raw sector region on `device` (a file when a
+  /// filesystem is attached) — e.g. for secondary-index page files.
+  /// Reopening an existing database returns the same region.
+  disk::Lba allocate_region(const std::string& name, std::uint64_t sectors,
+                            io::DeviceId device);
+
+  [[nodiscard]] Table& table(TableId id) { return *tables_.at(id); }
+  [[nodiscard]] Table& table_named(const std::string& name);
+
+  /// Begin a transaction. The handle stays valid until commit/abort done.
+  Txn& begin();
+  /// Commit: appends the commit record, applies the flush policy, then
+  /// releases locks/pins. done(true) on success.
+  void commit(Txn& txn, std::function<void(bool committed)> done);
+  /// Roll back all of the transaction's effects.
+  void abort(Txn& txn, std::function<void()> done);
+
+  /// Fuzzy checkpoint: flush WAL, flush unpinned dirty pages, write the
+  /// checkpoint record + meta page. Safe to run concurrently with txns.
+  void checkpoint(std::function<void()> done);
+
+  /// Offline boot-time recovery: rebuild indexes from the platters, then
+  /// redo committed transactions from the last checkpoint. Requires the
+  /// data platters to be current (mount Trail with write-back first).
+  struct RecoveryReport {
+    Lsn checkpoint_lsn = 0;
+    std::uint64_t records_scanned = 0;
+    std::uint64_t txns_replayed = 0;
+    std::uint64_t rows_applied = 0;
+  };
+  RecoveryReport recover();
+
+  [[nodiscard]] LogManager& wal() { return *wal_; }
+  [[nodiscard]] io::BlockDriver& driver() { return driver_; }
+  /// The offline DiskDevice attached for `id`, or nullptr.
+  [[nodiscard]] disk::DiskDevice* offline_device(io::DeviceId id) const {
+    auto it = devices_.find(id.index());
+    return it == devices_.end() ? nullptr : it->second;
+  }
+  [[nodiscard]] BufferPool& pool() { return *pool_; }
+  [[nodiscard]] LockManager& locks() { return *locks_; }
+  [[nodiscard]] const DbStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const DbConfig& config() const { return config_; }
+
+ private:
+  friend class Txn;
+  void finish_commit_at(Lsn lsn, TxnId id, std::function<void(bool)> done);
+  void release(Txn& txn);
+  void maybe_auto_checkpoint();
+  void write_meta(Lsn checkpoint_lsn, std::function<void()> done);
+  [[nodiscard]] std::optional<Lsn> read_meta_offline() const;
+
+  static constexpr std::uint32_t kMetaSectors = kSectorsPerPage;
+
+  sim::Simulator& sim_;
+  io::BlockDriver& driver_;
+  io::DeviceId log_device_;
+  DbConfig config_;
+  std::unique_ptr<LogManager> wal_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LockManager> locks_;
+
+  std::map<std::uint16_t, disk::DiskDevice*> devices_;
+  std::map<std::uint16_t, fs::Filesystem*> filesystems_;
+  disk::Lba meta_base_ = 0;       // LBA of the meta page on the log device
+  disk::Lba wal_base_ = 0;        // first LBA of the WAL region/file
+  std::map<std::uint16_t, disk::Lba> alloc_cursor_;  // per-device next free LBA
+  std::vector<std::unique_ptr<PageFile>> files_;
+  std::vector<std::unique_ptr<Table>> tables_;
+
+  core::TrailDriver* direct_trail_ = nullptr;
+  std::map<TxnId, std::unique_ptr<Txn>> active_txns_;
+  TxnId next_txn_ = 1;  // 0 is the LockManager's "no holder" sentinel
+  Lsn last_checkpoint_lsn_ = 0;
+  bool checkpoint_running_ = false;
+  DbStats stats_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace trail::db

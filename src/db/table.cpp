@@ -1,0 +1,165 @@
+#include "db/table.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace trail::db {
+
+Table::Table(std::string name, TableId id, std::uint32_t row_size, BufferPool& pool,
+             std::uint32_t pool_file_id, PageNo page_count, disk::DiskDevice* device,
+             PageFile* file)
+    : name_(std::move(name)),
+      id_(id),
+      row_size_(row_size),
+      pool_(pool),
+      pool_file_id_(pool_file_id),
+      page_count_(page_count),
+      device_(device),
+      file_(file) {
+  if (row_size_ == 0 || slot_bytes() > kPageSize)
+    throw std::invalid_argument("Table: bad row size");
+  slots_per_page_ = static_cast<std::uint32_t>(kPageSize / slot_bytes());
+}
+
+void Table::write_slot(std::span<std::byte> page, std::uint32_t slot, bool used, Key key,
+                       const RowBuf& row) const {
+  std::byte* p = page.data() + static_cast<std::size_t>(slot) * slot_bytes();
+  p[0] = std::byte(used ? 1 : 0);
+  for (int i = 0; i < 8; ++i) p[1 + i] = std::byte(key >> (8 * i) & 0xFF);
+  if (used) {
+    if (row.size() != row_size_) throw std::invalid_argument("Table: row size mismatch");
+    std::memcpy(p + 9, row.data(), row_size_);
+  }
+}
+
+std::uint32_t Table::allocate_slot(Key key) {
+  std::uint32_t global;
+  if (!free_slots_.empty()) {
+    global = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (next_unused_slot_ >= capacity_rows())
+      throw std::runtime_error("Table '" + name_ + "' is full");
+    global = next_unused_slot_++;
+  }
+  index_[key] = global;
+  return global;
+}
+
+void Table::get(Key key, std::function<void(bool, RowBuf)> cb) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    cb(false, {});
+    return;
+  }
+  const Slot loc = location_of(it->second);
+  const std::uint32_t slot = loc.slot;
+  const std::uint32_t rs = row_size_;
+  const std::uint32_t sb = slot_bytes();
+  pool_.fetch(pool_file_id_, loc.page, [cb = std::move(cb), slot, rs, sb](std::span<std::byte> page) {
+    const std::byte* p = page.data() + static_cast<std::size_t>(slot) * sb;
+    RowBuf row(p + 9, p + 9 + rs);
+    cb(true, std::move(row));
+  });
+}
+
+void Table::apply_image(Key key, const RowBuf& row, std::function<void()> cb) {
+  auto it = index_.find(key);
+  const std::uint32_t global = it != index_.end() ? it->second : allocate_slot(key);
+  const Slot loc = location_of(global);
+  pool_.fetch(pool_file_id_, loc.page,
+              [this, key, row, loc, cb = std::move(cb)](std::span<std::byte> page) {
+                write_slot(page, loc.slot, true, key, row);
+                pool_.mark_dirty(pool_file_id_, loc.page);
+                cb();
+              });
+}
+
+void Table::remove(Key key, std::function<void()> cb) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    cb();
+    return;
+  }
+  const std::uint32_t global = it->second;
+  index_.erase(it);
+  free_slots_.push_back(global);
+  const Slot loc = location_of(global);
+  pool_.fetch(pool_file_id_, loc.page, [this, loc, cb = std::move(cb)](std::span<std::byte> page) {
+    page[static_cast<std::size_t>(loc.slot) * slot_bytes()] = std::byte{0};
+    pool_.mark_dirty(pool_file_id_, loc.page);
+    cb();
+  });
+}
+
+std::optional<PageNo> Table::page_of(Key key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return location_of(it->second).page;
+}
+
+void Table::pin_page(PageNo page) { pool_.pin(pool_file_id_, page); }
+
+void Table::unpin_page(PageNo page) { pool_.unpin(pool_file_id_, page); }
+
+void Table::rebuild_index_offline() {
+  if (device_ == nullptr || file_ == nullptr)
+    throw std::logic_error("Table: no offline device attached");
+  index_.clear();
+  free_slots_.clear();
+  next_unused_slot_ = 0;
+  std::vector<std::byte> page(kPageSize);
+  std::uint32_t highest_used = 0;
+  bool any = false;
+  for (PageNo p = 0; p < page_count_; ++p) {
+    file_->peek_page_offline(*device_, p, page);
+    for (std::uint32_t s = 0; s < slots_per_page_; ++s) {
+      const std::byte* sp = page.data() + static_cast<std::size_t>(s) * slot_bytes();
+      const std::uint32_t global = p * slots_per_page_ + s;
+      if (sp[0] == std::byte{1}) {
+        Key key = 0;
+        for (int i = 0; i < 8; ++i) key |= static_cast<Key>(sp[1 + i]) << (8 * i);
+        index_[key] = global;
+        highest_used = global;
+        any = true;
+      }
+    }
+  }
+  next_unused_slot_ = any ? highest_used + 1 : 0;
+  // Gaps below the high-water mark go to the free list.
+  std::vector<bool> used(next_unused_slot_, false);
+  for (const auto& [k, g] : index_) used[g] = true;
+  for (std::uint32_t g = 0; g < next_unused_slot_; ++g)
+    if (!used[g]) free_slots_.push_back(g);
+}
+
+void Table::load_row_offline(Key key, const RowBuf& row) {
+  if (device_ == nullptr || file_ == nullptr)
+    throw std::logic_error("Table: no offline device attached");
+  const std::uint32_t global = index_.contains(key) ? index_[key] : allocate_slot(key);
+  const Slot loc = location_of(global);
+  std::vector<std::byte> page(kPageSize);
+  file_->peek_page_offline(*device_, loc.page, page);
+  write_slot(page, loc.slot, true, key, row);
+  file_->load_page_offline(*device_, loc.page, page);
+}
+
+void Table::remove_row_offline(Key key) {
+  if (device_ == nullptr || file_ == nullptr)
+    throw std::logic_error("Table: no offline device attached");
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const Slot loc = location_of(it->second);
+  free_slots_.push_back(it->second);
+  index_.erase(it);
+  std::vector<std::byte> page(kPageSize);
+  file_->peek_page_offline(*device_, loc.page, page);
+  page[static_cast<std::size_t>(loc.slot) * slot_bytes()] = std::byte{0};
+  file_->load_page_offline(*device_, loc.page, page);
+}
+
+void Table::for_each_key(const std::function<void(Key)>& fn) const {
+  for (const auto& [key, slot] : index_) fn(key);
+}
+
+}  // namespace trail::db

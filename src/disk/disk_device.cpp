@@ -1,0 +1,222 @@
+#include "disk/disk_device.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace trail::disk {
+
+DiskDevice::DiskDevice(sim::Simulator& sim, DiskProfile profile)
+    : sim_(sim),
+      profile_(std::move(profile)),
+      seek_model_(profile_.seek),
+      store_(profile_.geometry.total_sectors()) {}
+
+double DiskDevice::angle_at(sim::TimePoint t) const {
+  const auto rot = profile_.actual_rotation_time().ns();
+  return static_cast<double>(t.ns() % rot) / static_cast<double>(rot);
+}
+
+void DiskDevice::read(Lba lba, std::uint32_t count, std::span<std::byte> out, Completion cb) {
+  if (halted_) return;  // power is off: the command vanishes
+  if (count == 0) throw std::invalid_argument("DiskDevice::read: zero-sector command");
+  if (out.size() < static_cast<std::size_t>(count) * kSectorSize)
+    throw std::invalid_argument("DiskDevice::read: output buffer too small");
+  Request req;
+  req.is_write = false;
+  req.lba = lba;
+  req.count = count;
+  req.out = out;
+  req.cb = std::move(cb);
+  if (in_flight_)
+    queue_.push_back(std::move(req));
+  else
+    begin_service(std::move(req));
+}
+
+void DiskDevice::write(Lba lba, std::uint32_t count, std::span<const std::byte> data,
+                       Completion cb) {
+  if (halted_) return;
+  if (count == 0) throw std::invalid_argument("DiskDevice::write: zero-sector command");
+  if (data.size() < static_cast<std::size_t>(count) * kSectorSize)
+    throw std::invalid_argument("DiskDevice::write: input buffer too small");
+  Request req;
+  req.is_write = true;
+  req.lba = lba;
+  req.count = count;
+  req.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(count) * kSectorSize);
+  req.cb = std::move(cb);
+
+  if (profile_.write_cache_enabled) {
+    // Volatile write cache: acknowledge after the command overhead alone,
+    // even while queued; the media commit proceeds in the background. An
+    // acknowledged-but-uncommitted write is LOST on a power cut — the
+    // accounting below is what the durability ablation reports.
+    auto acked = std::make_shared<bool>(false);
+    auto user_cb = std::make_shared<Completion>(std::move(req.cb));
+    sim_.schedule(profile_.command_overhead, [this, acked, user_cb] {
+      if (halted_ || *acked) return;
+      *acked = true;
+      ++wce_outstanding_;
+      if (*user_cb) {
+        Completion cb2 = std::move(*user_cb);
+        *user_cb = nullptr;
+        cb2();
+      }
+    });
+    req.cb = [this, acked] {
+      // Media commit retires the cache debt (always after the ack: media
+      // time strictly exceeds the command overhead).
+      if (*acked) --wce_outstanding_;
+    };
+  }
+
+  if (in_flight_)
+    queue_.push_back(std::move(req));
+  else
+    begin_service(std::move(req));
+}
+
+void DiskDevice::begin_service(Request req) {
+  const Geometry& geom = profile_.geometry;
+  if (req.lba >= geom.total_sectors() || req.count > geom.total_sectors() - req.lba)
+    throw std::out_of_range("DiskDevice: command beyond end of disk");
+
+  in_flight_ = true;
+  active_ = std::move(req);
+  active_extents_.clear();
+
+  sim::TimePoint t = sim_.now() + profile_.command_overhead;
+  stats_.overhead += profile_.command_overhead;
+
+  // Decompose the request into per-track extents and walk the mechanical
+  // timeline across them.
+  Lba lba = active_.lba;
+  std::uint32_t remaining = active_.count;
+  std::size_t data_off = 0;
+  std::uint32_t cyl = cylinder_;
+  std::uint32_t surf = surface_;
+  const auto rot = profile_.actual_rotation_time();
+
+  while (remaining > 0) {
+    const Chs chs = geom.to_chs(lba);
+    const TrackId track = geom.track_of(chs.cylinder, chs.surface);
+    const std::uint32_t spt = geom.spt_of_track(track);
+    const std::uint32_t in_track = std::min(remaining, spt - chs.sector);
+
+    const sim::Duration move = seek_model_.reposition_time(cyl, surf, chs.cylinder, chs.surface);
+    t += move;
+    stats_.seek += move;
+    cyl = chs.cylinder;
+    surf = chs.surface;
+
+    // Rotational wait until the extent's first sector arrives under the head.
+    const double target = geom.angle_of(track, chs.sector);
+    const double here = angle_at(t);
+    double wait_frac = target - here;
+    if (wait_frac < 0) wait_frac += 1.0;
+    const sim::Duration wait{static_cast<std::int64_t>(
+        wait_frac * static_cast<double>(rot.ns()))};
+    t += wait;
+    stats_.rotation += wait;
+
+    Extent ext;
+    ext.lba = lba;
+    ext.count = in_track;
+    ext.data_offset = data_off;
+    ext.transfer_start = t;
+    ext.sector_time = profile_.actual_sector_time(track);
+    active_extents_.push_back(ext);
+
+    const sim::Duration xfer = ext.sector_time * in_track;
+    t += xfer;
+    stats_.transfer += xfer;
+
+    lba += in_track;
+    remaining -= in_track;
+    data_off += static_cast<std::size_t>(in_track) * kSectorSize;
+  }
+
+  cylinder_ = cyl;
+  surface_ = surf;
+  stats_.busy += t - sim_.now();
+
+  completion_event_ = sim_.schedule_at(t, [this] { finish_service(); });
+}
+
+void DiskDevice::finish_service() {
+  completion_event_ = sim::EventId{};
+  if (active_.is_write) {
+    store_.write(active_.lba, active_.count, active_.data);
+    ++stats_.writes;
+    stats_.sectors_written += active_.count;
+  } else {
+    store_.read(active_.lba, active_.count, active_.out);
+    ++stats_.reads;
+    stats_.sectors_read += active_.count;
+  }
+  Completion cb = std::move(active_.cb);
+  active_ = Request{};
+  active_extents_.clear();
+  in_flight_ = false;
+  // The callback may submit follow-on commands; let it run before we pull
+  // the next queued request so submissions keep FIFO order.
+  if (cb) cb();
+  start_next();
+}
+
+void DiskDevice::start_next() {
+  if (in_flight_ || queue_.empty() || halted_) return;
+  Request next = std::move(queue_.front());
+  queue_.pop_front();
+  begin_service(std::move(next));
+}
+
+void DiskDevice::crash_halt() {
+  halted_ = true;
+  cached_writes_lost_ += wce_outstanding_;
+  wce_outstanding_ = 0;
+  queue_.clear();
+  if (in_flight_) {
+    sim_.cancel(completion_event_);
+    completion_event_ = sim::EventId{};
+    if (active_.is_write) {
+      // Commit only the sectors whose media transfer finished by "now" —
+      // a torn write, exactly what a power cut produces. The sector that
+      // was UNDER the head at the instant of the cut is shorn: it holds
+      // garbage (neither old nor new content), which is why the log
+      // format checksums everything it trusts.
+      const sim::TimePoint now = sim_.now();
+      for (const Extent& ext : active_extents_) {
+        if (now <= ext.transfer_start) continue;
+        const auto elapsed = (now - ext.transfer_start).ns();
+        auto done = static_cast<std::uint32_t>(elapsed / ext.sector_time.ns());
+        if (done > ext.count) done = ext.count;
+        if (done > 0) {
+          store_.write(ext.lba, done,
+                       std::span<const std::byte>(active_.data).subspan(ext.data_offset));
+        }
+        if (done < ext.count) {
+          // Shear the in-flight sector with pseudo-garbage derived from
+          // its address (deterministic for reproducibility).
+          SectorBuf garbage;
+          std::uint64_t x = (ext.lba + done) * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+          for (auto& b : garbage) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            b = std::byte(static_cast<std::uint8_t>(x));
+          }
+          store_.write(ext.lba + done, 1, garbage);
+          break;  // only the head's sector is affected
+        }
+      }
+    }
+    active_ = Request{};
+    active_extents_.clear();
+    in_flight_ = false;
+  }
+}
+
+}  // namespace trail::disk

@@ -1,0 +1,77 @@
+#include "disk/profile.hpp"
+
+namespace trail::disk {
+
+using sim::micros;
+using sim::millis_f;
+
+DiskProfile st41601n() {
+  // 17 surfaces x 2,101 cylinders = 35,717 tracks. Three zones averaging
+  // ~75 sectors/track => 2.68M sectors ~ 1.37 GB, matching the drive.
+  Geometry geom{17,
+                {
+                    Zone{700, 80},  // outer zone
+                    Zone{700, 75},
+                    Zone{701, 70},  // inner zone
+                },
+                /*skew_fraction=*/0.1};
+  SeekModel::Params seek;
+  seek.track_to_track = millis_f(1.7);
+  seek.average = millis_f(12.0);
+  seek.full_stroke = millis_f(22.0);
+  seek.head_switch = micros(250);
+  seek.cylinders = geom.cylinders();
+  return DiskProfile{"ST41601N", 5400.0, std::move(geom), seek, millis_f(1.25)};
+}
+
+DiskProfile wd_caviar_10g() {
+  // 6 surfaces x 6,500 cylinders, ~500 sectors/track => ~10 GB.
+  Geometry geom{6,
+                {
+                    Zone{2100, 550},
+                    Zone{2200, 500},
+                    Zone{2200, 450},
+                },
+                /*skew_fraction=*/0.1};
+  SeekModel::Params seek;
+  seek.track_to_track = millis_f(2.0);
+  seek.average = millis_f(11.0);
+  seek.full_stroke = millis_f(21.0);
+  seek.head_switch = micros(300);
+  seek.cylinders = geom.cylinders();
+  return DiskProfile{"WD-Caviar-10G", 5400.0, std::move(geom), seek, millis_f(1.0)};
+}
+
+DiskProfile small_test_disk() {
+  // 2 surfaces x 40 cylinders, 3 zones; 16-24 sectors/track. 1,520 sectors.
+  Geometry geom{2,
+                {
+                    Zone{10, 24},
+                    Zone{20, 20},
+                    Zone{10, 16},
+                },
+                /*skew_fraction=*/0.2};
+  SeekModel::Params seek;
+  seek.track_to_track = millis_f(1.0);
+  seek.average = millis_f(5.0);
+  seek.full_stroke = millis_f(9.0);
+  seek.head_switch = micros(200);
+  seek.cylinders = geom.cylinders();
+  return DiskProfile{"small-test", 6000.0, std::move(geom), seek, millis_f(0.5)};
+}
+
+DiskProfile fixed_head_drum() {
+  // One head per track: no arm, no head-switch cost. Modelled as a single
+  // "cylinder" with many surfaces and zero-cost switching.
+  Geometry geom{64, {Zone{1, 64}}, /*skew_fraction=*/0.0};
+  SeekModel::Params seek;
+  seek.track_to_track = sim::nanos(1);  // SeekModel requires > 0
+  seek.average = sim::nanos(1);
+  seek.full_stroke = sim::nanos(1);
+  seek.head_switch = sim::Duration{0};
+  seek.cylinders = 4;  // unused (single-cylinder geometry never arm-seeks),
+                       // but the curve fit needs >= 4
+  return DiskProfile{"fixed-head-drum", 3600.0, std::move(geom), seek, millis_f(0.3)};
+}
+
+}  // namespace trail::disk

@@ -1,0 +1,79 @@
+// Drive profiles: everything the DiskDevice model needs about a drive.
+//
+// The presets are parameterised to the drives in the paper's testbed
+// (§5 opening): a Seagate ST41601N SCSI drive as the Trail log disk and
+// Western Digital Caviar IDE drives as data disks, both 5400 RPM. The
+// fixed per-command overhead is tuned so that a one-sector write with no
+// seek and no rotational wait costs ~1.4 ms, the figure the paper measures
+// ("the synchronous write latency for a one-sector write request is
+// consistently around 1.40 msec" with ~0.13 ms of that being transfer).
+#pragma once
+
+#include <string>
+
+#include "disk/geometry.hpp"
+#include "disk/seek_model.hpp"
+#include "sim/time.hpp"
+
+namespace trail::disk {
+
+struct DiskProfile {
+  std::string name;
+  double rpm = 5400.0;
+  Geometry geometry;
+  SeekModel::Params seek;
+  /// Fixed controller + command-processing overhead charged to every
+  /// command before any mechanical motion begins.
+  sim::Duration command_overhead;
+  /// Deviation of the true spindle speed from nominal, in parts per
+  /// million (§3.1: "deviation in the disk rotation speed" is why head
+  /// predictions go awry over idle periods and why the Trail driver
+  /// periodically repositions). The device model rotates at the *actual*
+  /// rate; software only ever knows the nominal one.
+  double rotation_drift_ppm = 0.0;
+  /// Volatile on-drive write cache (WCE). When enabled, writes complete
+  /// after the command overhead alone and the media commit happens in the
+  /// background — fast, but acknowledged data EVAPORATES on a power cut.
+  /// Synchronous-write systems of the paper's era ran with WCE off (the
+  /// default here); the ablation bench shows what enabling it trades away
+  /// and that Trail delivers comparable latency without the data loss.
+  bool write_cache_enabled = false;
+
+  /// One full revolution at the nominal (published) speed — what software
+  /// like the Trail predictor works from.
+  [[nodiscard]] sim::Duration rotation_time() const {
+    return sim::Duration{static_cast<std::int64_t>(60.0 / rpm * 1e9)};
+  }
+  /// One full revolution at the true spindle speed.
+  [[nodiscard]] sim::Duration actual_rotation_time() const {
+    return sim::Duration{
+        static_cast<std::int64_t>(60.0 / rpm * 1e9 * (1.0 + rotation_drift_ppm * 1e-6))};
+  }
+  /// Nominal time for one sector to pass under the head on `track`.
+  [[nodiscard]] sim::Duration sector_time(TrackId track) const {
+    return rotation_time() / geometry.spt_of_track(track);
+  }
+  /// True media time for one sector on `track`.
+  [[nodiscard]] sim::Duration actual_sector_time(TrackId track) const {
+    return actual_rotation_time() / geometry.spt_of_track(track);
+  }
+};
+
+/// Seagate ST41601N (paper's log disk): 1.37 GB, 5400 RPM, 1.7 ms
+/// track-to-track seek, 35,717 tracks (17 surfaces x 2,101 cylinders, the
+/// track count §5.3 reports for the testing disk).
+DiskProfile st41601n();
+
+/// Western Digital Caviar-class IDE data disk: ~10 GB, 5400 RPM, 2 ms
+/// track-to-track seek.
+DiskProfile wd_caviar_10g();
+
+/// A tiny disk for unit tests: small enough that full-disk scans are cheap
+/// but with multiple zones, surfaces and skew so mapping edge cases appear.
+DiskProfile small_test_disk();
+
+/// A fixed-head "drum" in the spirit of IBM WADS (§2): one cylinder worth
+/// of tracks, zero seek cost. Used by the related-work comparison bench.
+DiskProfile fixed_head_drum();
+
+}  // namespace trail::disk

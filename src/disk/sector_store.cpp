@@ -1,0 +1,37 @@
+#include "disk/sector_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace trail::disk {
+
+void SectorStore::check_range(Lba lba, std::uint32_t count) const {
+  if (lba >= total_sectors_ || count > total_sectors_ - lba)
+    throw std::out_of_range("SectorStore: access beyond end of disk");
+}
+
+void SectorStore::read(Lba lba, std::uint32_t count, std::span<std::byte> out) const {
+  check_range(lba, count);
+  if (out.size() < static_cast<std::size_t>(count) * kSectorSize)
+    throw std::invalid_argument("SectorStore::read: output buffer too small");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = sectors_.find(lba + i);
+    std::byte* dst = out.data() + static_cast<std::size_t>(i) * kSectorSize;
+    if (it == sectors_.end())
+      std::memset(dst, 0, kSectorSize);
+    else
+      std::memcpy(dst, it->second.data(), kSectorSize);
+  }
+}
+
+void SectorStore::write(Lba lba, std::uint32_t count, std::span<const std::byte> data) {
+  check_range(lba, count);
+  if (data.size() < static_cast<std::size_t>(count) * kSectorSize)
+    throw std::invalid_argument("SectorStore::write: input buffer too small");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectorBuf& buf = sectors_[lba + i];
+    std::memcpy(buf.data(), data.data() + static_cast<std::size_t>(i) * kSectorSize, kSectorSize);
+  }
+}
+
+}  // namespace trail::disk

@@ -1,0 +1,44 @@
+// Persistent sector contents — "the platter".
+//
+// Bytes written here survive a simulated crash (DiskDevice::crash_halt
+// discards queued commands and driver state, never the store). Unwritten
+// sectors read back as zeroes, like a freshly formatted drive.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+
+#include "disk/types.hpp"
+
+namespace trail::disk {
+
+class SectorStore {
+ public:
+  explicit SectorStore(Lba total_sectors) : total_sectors_(total_sectors) {}
+
+  [[nodiscard]] Lba total_sectors() const { return total_sectors_; }
+
+  /// Copy `count` sectors starting at `lba` into `out` (size >= count*512).
+  void read(Lba lba, std::uint32_t count, std::span<std::byte> out) const;
+
+  /// Copy `count` sectors from `data` (size >= count*512) onto the platter.
+  void write(Lba lba, std::uint32_t count, std::span<const std::byte> data);
+
+  /// True if the sector has ever been written.
+  [[nodiscard]] bool is_written(Lba lba) const { return sectors_.contains(lba); }
+
+  /// Number of distinct sectors ever written (storage footprint metric).
+  [[nodiscard]] std::size_t written_sector_count() const { return sectors_.size(); }
+
+  /// Reset every sector back to zeroes (reformat).
+  void wipe() { sectors_.clear(); }
+
+ private:
+  void check_range(Lba lba, std::uint32_t count) const;
+
+  Lba total_sectors_;
+  std::unordered_map<Lba, SectorBuf> sectors_;
+};
+
+}  // namespace trail::disk

@@ -1,0 +1,54 @@
+#include "disk/seek_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trail::disk {
+
+SeekModel::SeekModel(const Params& p) : head_switch_(p.head_switch) {
+  if (p.cylinders < 4) throw std::invalid_argument("SeekModel: too few cylinders to fit curve");
+  if (p.track_to_track <= sim::Duration{0} || p.average < p.track_to_track ||
+      p.full_stroke < p.average)
+    throw std::invalid_argument("SeekModel: require 0 < t2t <= avg <= full");
+
+  // Fit T(d) = a*sqrt(d-1) + b*(d-1) + c through the three points
+  // d1 = 1, d2 = cylinders/3, d3 = cylinders-1.
+  const double d2 = static_cast<double>(p.cylinders) / 3.0;
+  const double d3 = static_cast<double>(p.cylinders) - 1.0;
+  const double t1 = static_cast<double>(p.track_to_track.ns());
+  const double t2 = static_cast<double>(p.average.ns());
+  const double t3 = static_cast<double>(p.full_stroke.ns());
+
+  c_ = t1;  // T(1): sqrt(0) and (1-1) terms vanish
+  // Solve the remaining 2x2 system for a, b:
+  //   a*sqrt(d2-1) + b*(d2-1) = t2 - c
+  //   a*sqrt(d3-1) + b*(d3-1) = t3 - c
+  const double s2 = std::sqrt(d2 - 1.0), l2 = d2 - 1.0;
+  const double s3 = std::sqrt(d3 - 1.0), l3 = d3 - 1.0;
+  const double det = s2 * l3 - s3 * l2;
+  if (std::abs(det) < 1e-9) throw std::invalid_argument("SeekModel: degenerate fit");
+  a_ = ((t2 - c_) * l3 - (t3 - c_) * l2) / det;
+  b_ = (s2 * (t3 - c_) - s3 * (t2 - c_)) / det;
+}
+
+sim::Duration SeekModel::seek_time(std::uint32_t distance) const {
+  if (distance == 0) return sim::Duration{0};
+  const double d = static_cast<double>(distance);
+  double t = a_ * std::sqrt(d - 1.0) + b_ * (d - 1.0) + c_;
+  if (t < c_) t = c_;  // never cheaper than track-to-track
+  return sim::Duration{static_cast<std::int64_t>(t)};
+}
+
+sim::Duration SeekModel::reposition_time(std::uint32_t from_cylinder, std::uint32_t from_surface,
+                                         std::uint32_t to_cylinder,
+                                         std::uint32_t to_surface) const {
+  if (from_cylinder != to_cylinder) {
+    const std::uint32_t dist = from_cylinder > to_cylinder ? from_cylinder - to_cylinder
+                                                           : to_cylinder - from_cylinder;
+    return seek_time(dist);
+  }
+  if (from_surface != to_surface) return head_switch_;
+  return sim::Duration{0};
+}
+
+}  // namespace trail::disk

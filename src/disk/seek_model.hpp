@@ -1,0 +1,48 @@
+// Seek-time model fitted to three published data points.
+//
+// Uses the classic Lee/Katz curve  T(d) = a*sqrt(d-1) + b*(d-1) + c  for a
+// seek of d cylinders (d >= 1), fitted so that T(1) = track-to-track time,
+// T(cyl/3) = average seek time and T(cyl-1) = full-stroke time. This is the
+// same family of curves used by DiskSim-era simulators and captures the
+// "square root for short seeks, linear for long seeks" behaviour the Trail
+// paper's latency numbers come from.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace trail::disk {
+
+class SeekModel {
+ public:
+  struct Params {
+    sim::Duration track_to_track;  // T(1)
+    sim::Duration average;         // T(cylinders / 3)
+    sim::Duration full_stroke;     // T(cylinders - 1)
+    sim::Duration head_switch;     // surface change within a cylinder
+    std::uint32_t cylinders = 1;
+  };
+
+  explicit SeekModel(const Params& p);
+
+  /// Time to move the arm across `distance` cylinders (0 => no arm motion).
+  [[nodiscard]] sim::Duration seek_time(std::uint32_t distance) const;
+
+  /// Time to switch the active head to another surface, arm stationary.
+  [[nodiscard]] sim::Duration head_switch_time() const { return head_switch_; }
+
+  /// Combined repositioning cost between two tracks: cylinder seek if the
+  /// cylinders differ (which subsumes any head change), else a head switch
+  /// if the surfaces differ, else zero.
+  [[nodiscard]] sim::Duration reposition_time(std::uint32_t from_cylinder,
+                                              std::uint32_t from_surface,
+                                              std::uint32_t to_cylinder,
+                                              std::uint32_t to_surface) const;
+
+ private:
+  double a_ = 0.0, b_ = 0.0, c_ = 0.0;  // coefficients in nanoseconds
+  sim::Duration head_switch_;
+};
+
+}  // namespace trail::disk

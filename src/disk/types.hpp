@@ -1,0 +1,20 @@
+// Shared primitive types for the disk layer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace trail::disk {
+
+/// Logical block address (one 512-byte sector).
+using Lba = std::uint64_t;
+
+/// Global track index (cylinder * surfaces + surface).
+using TrackId = std::uint32_t;
+
+inline constexpr std::size_t kSectorSize = 512;
+
+using SectorBuf = std::array<std::byte, kSectorSize>;
+
+}  // namespace trail::disk

@@ -1,0 +1,223 @@
+#include "fs/filesystem.hpp"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "core/crc32.hpp"
+
+namespace trail::fs {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'R', 'L', 'F', 'S', '0', '0', '1'};
+
+void put_u64(std::span<std::byte> buf, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf[off + static_cast<std::size_t>(i)] = std::byte(v >> (8 * i) & 0xFF);
+}
+std::uint64_t get_u64(std::span<const std::byte> buf, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[off + static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+// 64-byte file-table entry: [0..23] name (NUL padded), [24..31] base,
+// [32..39] capacity, [40..47] size, [48..51] crc, rest zero. A zero name
+// means "unused".
+constexpr std::size_t kEntryBytes = 64;
+constexpr std::size_t kEntriesPerSector = disk::kSectorSize / kEntryBytes;
+
+void encode_entry(const FileInfo* info, std::span<std::byte> out) {
+  std::memset(out.data(), 0, kEntryBytes);
+  if (info == nullptr) return;
+  std::memcpy(out.data(), info->name.data(),
+              std::min(info->name.size(), kMaxFileName));
+  put_u64(out, 24, info->base);
+  put_u64(out, 32, info->capacity);
+  put_u64(out, 40, info->size);
+  const std::uint32_t crc = core::crc32(out.subspan(0, 48));
+  for (int i = 0; i < 4; ++i) out[48 + static_cast<std::size_t>(i)] = std::byte(crc >> (8 * i) & 0xFF);
+}
+
+std::optional<FileInfo> decode_entry(std::span<const std::byte> in) {
+  if (in[0] == std::byte{0}) return std::nullopt;  // unused slot
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= static_cast<std::uint32_t>(in[48 + static_cast<std::size_t>(i)]) << (8 * i);
+  if (stored != core::crc32(in.subspan(0, 48)))
+    throw std::runtime_error("Filesystem: corrupt file-table entry");
+  FileInfo info;
+  const char* name = reinterpret_cast<const char*>(in.data());
+  info.name.assign(name, strnlen(name, kMaxFileName));
+  info.base = get_u64(in, 24);
+  info.capacity = get_u64(in, 32);
+  info.size = get_u64(in, 40);
+  return info;
+}
+
+}  // namespace
+
+void mkfs(disk::DiskDevice& device, const MkfsParams& params) {
+  constexpr std::uint32_t entry_sectors =
+      (kMaxFiles * kEntryBytes + disk::kSectorSize - 1) / disk::kSectorSize;
+  if (params.total_sectors < 1 + entry_sectors + 1)
+    throw std::invalid_argument("mkfs: region too small");
+  disk::SectorBuf super{};
+  std::memcpy(super.data(), kMagic, 8);
+  put_u64(super, 8, params.total_sectors);
+  put_u64(super, 16, kMaxFiles);
+  const std::uint32_t crc = core::crc32(std::span<const std::byte>(super.data(), 24));
+  for (int i = 0; i < 4; ++i) super[24 + static_cast<std::size_t>(i)] = std::byte(crc >> (8 * i) & 0xFF);
+  device.store().write(params.base, 1, super);
+  disk::SectorBuf zero{};
+  for (std::uint32_t s = 0; s < entry_sectors; ++s)
+    device.store().write(params.base + 1 + s, 1, zero);
+}
+
+Filesystem::Filesystem(io::BlockDriver& driver, io::DeviceId device_id,
+                       disk::DiskDevice& offline, disk::Lba base)
+    : driver_(driver), device_id_(device_id), offline_(offline), base_(base) {}
+
+void Filesystem::mount() {
+  // Mount happens at boot; metadata is read off the platter directly.
+  disk::SectorBuf super{};
+  offline_.store().read(base_, 1, super);
+  if (std::memcmp(super.data(), kMagic, 8) != 0)
+    throw std::runtime_error("Filesystem: region is not formatted (run mkfs)");
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= static_cast<std::uint32_t>(super[24 + static_cast<std::size_t>(i)]) << (8 * i);
+  if (stored != core::crc32(std::span<const std::byte>(super.data(), 24)))
+    throw std::runtime_error("Filesystem: corrupt superblock");
+  total_sectors_ = get_u64(super, 8);
+
+  files_.clear();
+  next_free_ = base_ + 1 + kEntrySectors;
+  disk::SectorBuf sector{};
+  for (std::uint32_t s = 0; s < kEntrySectors; ++s) {
+    offline_.store().read(base_ + 1 + s, 1, sector);
+    for (std::size_t e = 0; e < kEntriesPerSector; ++e) {
+      if (files_.size() >= kMaxFiles) break;
+      const auto entry = decode_entry(
+          std::span<const std::byte>(sector.data() + e * kEntryBytes, kEntryBytes));
+      if (entry) {
+        files_.push_back(*entry);
+        next_free_ = std::max<disk::Lba>(next_free_, entry->base + entry->capacity);
+      } else {
+        files_.push_back(FileInfo{});  // keep slot indices aligned
+      }
+    }
+  }
+  // Trim trailing empty slots but keep interior ones (slot index = table
+  // position).
+  while (!files_.empty() && files_.back().name.empty()) files_.pop_back();
+  mounted_ = true;
+}
+
+std::uint64_t Filesystem::free_sectors() const {
+  const disk::Lba end = base_ + total_sectors_;
+  return end > next_free_ ? end - next_free_ : 0;
+}
+
+FileInfo Filesystem::allocate(const std::string& name, std::uint64_t capacity) {
+  if (!mounted_) throw std::logic_error("Filesystem: not mounted");
+  if (name.empty() || name.size() > kMaxFileName)
+    throw std::invalid_argument("Filesystem: bad file name");
+  if (open(name)) throw std::invalid_argument("Filesystem: file exists: " + name);
+  if (capacity == 0 || capacity > free_sectors())
+    throw std::runtime_error("Filesystem: no space for " + name);
+  // Find a slot (reuse an interior empty one if any).
+  std::size_t slot = files_.size();
+  for (std::size_t i = 0; i < files_.size(); ++i)
+    if (files_[i].name.empty()) {
+      slot = i;
+      break;
+    }
+  if (slot >= kMaxFiles) throw std::runtime_error("Filesystem: file table full");
+  FileInfo info;
+  info.name = name;
+  info.base = next_free_;
+  info.capacity = capacity;
+  info.size = 0;
+  next_free_ += capacity;
+  if (slot == files_.size())
+    files_.push_back(info);
+  else
+    files_[slot] = info;
+  return info;
+}
+
+disk::Lba Filesystem::table_lba(std::size_t file_index) const {
+  return base_ + 1 + static_cast<disk::Lba>(file_index / kEntriesPerSector);
+}
+
+void Filesystem::serialize_entry(std::size_t index, std::span<std::byte> sector_buf) const {
+  // Rebuild the whole sector holding this entry from the in-memory table.
+  const std::size_t first = index / kEntriesPerSector * kEntriesPerSector;
+  std::memset(sector_buf.data(), 0, disk::kSectorSize);
+  for (std::size_t e = 0; e < kEntriesPerSector; ++e) {
+    const std::size_t i = first + e;
+    const FileInfo* info =
+        i < files_.size() && !files_[i].name.empty() ? &files_[i] : nullptr;
+    encode_entry(info, sector_buf.subspan(e * kEntryBytes, kEntryBytes));
+  }
+}
+
+void Filesystem::persist_entry(std::size_t index, std::function<void()> done) {
+  auto sector = std::make_shared<disk::SectorBuf>();
+  serialize_entry(index, *sector);
+  driver_.submit_write(io::BlockAddr{device_id_, table_lba(index)}, 1, *sector,
+                       [sector, done = std::move(done)] {
+                         if (done) done();
+                       });
+}
+
+void Filesystem::create(const std::string& name, std::uint64_t capacity,
+                        std::function<void(const FileInfo&)> done) {
+  (void)allocate(name, capacity);
+  // Locate the slot we just wrote.
+  std::size_t slot = 0;
+  for (; slot < files_.size(); ++slot)
+    if (files_[slot].name == name) break;
+  persist_entry(slot, [this, slot, done = std::move(done)] {
+    if (done) done(files_[slot]);
+  });
+}
+
+FileInfo Filesystem::create_offline(const std::string& name, std::uint64_t capacity) {
+  const FileInfo info = allocate(name, capacity);
+  std::size_t slot = 0;
+  for (; slot < files_.size(); ++slot)
+    if (files_[slot].name == name) break;
+  disk::SectorBuf sector{};
+  serialize_entry(slot, sector);
+  offline_.store().write(table_lba(slot), 1, sector);
+  return info;
+}
+
+std::optional<FileInfo> Filesystem::open(const std::string& name) const {
+  for (const FileInfo& f : files_)
+    if (f.name == name) return f;
+  return std::nullopt;
+}
+
+void Filesystem::record_append(const std::string& name, std::uint64_t new_size,
+                               std::function<void()> done) {
+  std::size_t slot = files_.size();
+  for (std::size_t i = 0; i < files_.size(); ++i)
+    if (files_[i].name == name) {
+      slot = i;
+      break;
+    }
+  if (slot == files_.size()) throw std::invalid_argument("Filesystem: no such file: " + name);
+  FileInfo& f = files_[slot];
+  if (new_size > f.capacity) throw std::runtime_error("Filesystem: append beyond capacity");
+  if (new_size < f.size) {
+    if (done) done();  // overwrite below the high-water mark: no metadata
+    return;
+  }
+  // O_SYNC append: the inode (size/mtime) is written even when the sector
+  // count is unchanged — i_size is byte-granular on a real file system.
+  f.size = new_size;
+  persist_entry(slot, std::move(done));
+}
+
+}  // namespace trail::fs

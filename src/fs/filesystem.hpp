@@ -1,0 +1,106 @@
+// A minimal extent-based file system — the "EXT2" in the paper's Table 2
+// configuration names.
+//
+// The evaluation's database stores its log and table files on an ext2
+// file system; what matters to the experiments is (a) name -> block
+// mapping, (b) contiguous-enough allocation, and (c) the O_SYNC append
+// behaviour: a synchronous append makes BOTH the data blocks and the
+// inode (file size) durable before returning — the second, metadata,
+// write is a real part of the paper's "disk I/O time for logging".
+//
+// Design: one filesystem per device region. All files are allocated as a
+// single contiguous extent (first-fit over a sector bitmap), which is
+// both era-plausible for preallocated database files and lets the page
+// layer address them with simple base+offset arithmetic. Metadata — a
+// superblock and a fixed file table — persists through the BlockDriver
+// with synchronous writes.
+//
+// On-disk layout (sectors, relative to the filesystem base):
+//   [0]            superblock: magic, geometry, file count
+//   [1 .. T]       file table: 64-byte entries, 8 per sector
+//   [T+1 .. ]      file data
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "disk/disk_device.hpp"
+#include "io/block.hpp"
+
+namespace trail::fs {
+
+inline constexpr std::size_t kMaxFileName = 23;  // + NUL in a 64-byte entry
+inline constexpr std::uint32_t kMaxFiles = 64;
+
+struct FileInfo {
+  std::string name;
+  disk::Lba base = 0;         // absolute LBA of the first data sector
+  std::uint64_t capacity = 0;  // sectors reserved
+  std::uint64_t size = 0;      // sectors written (grows on append)
+};
+
+struct MkfsParams {
+  disk::Lba base = 0;            // first sector of the filesystem region
+  std::uint64_t total_sectors = 0;  // region size
+};
+
+/// Offline formatter (mkfs): writes the superblock and an empty file
+/// table directly to the platter.
+void mkfs(disk::DiskDevice& device, const MkfsParams& params);
+
+class Filesystem {
+ public:
+  /// `device_id` names the device under `driver` that holds the
+  /// filesystem; `offline` is the same device for mount-time metadata
+  /// reads (boot happens with the driver quiescent).
+  Filesystem(io::BlockDriver& driver, io::DeviceId device_id, disk::DiskDevice& offline,
+             disk::Lba base = 0);
+
+  /// Load the superblock + file table from the platter. Throws if the
+  /// region is not formatted.
+  void mount();
+
+  /// Create a contiguous file of `capacity` sectors (first-fit); persists
+  /// the file table synchronously, then invokes `done` with the entry.
+  void create(const std::string& name, std::uint64_t capacity,
+              std::function<void(const FileInfo&)> done);
+
+  /// Offline create (population/boot path): no timed I/O.
+  FileInfo create_offline(const std::string& name, std::uint64_t capacity);
+
+  [[nodiscard]] std::optional<FileInfo> open(const std::string& name) const;
+  [[nodiscard]] const std::vector<FileInfo>& files() const { return files_; }
+  [[nodiscard]] io::DeviceId device_id() const { return device_id_; }
+
+  /// O_SYNC append bookkeeping: the file grew to `new_size` sectors; make
+  /// the inode durable (one synchronous file-table sector write), then
+  /// `done`. No-op completion if the size did not grow.
+  void record_append(const std::string& name, std::uint64_t new_size,
+                     std::function<void()> done);
+
+  /// Free sectors remaining for allocation.
+  [[nodiscard]] std::uint64_t free_sectors() const;
+
+ private:
+  static constexpr std::uint32_t kEntrySectors =
+      (kMaxFiles * 64 + disk::kSectorSize - 1) / disk::kSectorSize;
+
+  [[nodiscard]] disk::Lba table_lba(std::size_t file_index) const;
+  void serialize_entry(std::size_t index, std::span<std::byte> sector_buf) const;
+  void persist_entry(std::size_t index, std::function<void()> done);
+  FileInfo allocate(const std::string& name, std::uint64_t capacity);
+
+  io::BlockDriver& driver_;
+  io::DeviceId device_id_;
+  disk::DiskDevice& offline_;
+  disk::Lba base_ = 0;
+  std::uint64_t total_sectors_ = 0;
+  disk::Lba next_free_ = 0;  // bump allocator over the data area
+  std::vector<FileInfo> files_;
+  bool mounted_ = false;
+};
+
+}  // namespace trail::fs

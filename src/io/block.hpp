@@ -1,0 +1,75 @@
+// Block-layer types: device addressing and the driver interface both the
+// Trail driver and the standard baseline implement.
+//
+// This mirrors the paper's software architecture (§4.1, Fig. 2): the file
+// system / database above talks physical block read/write against an
+// interface "exactly the same as those exposed by standard disk device
+// drivers"; whether writes are logged via Trail or pushed synchronously to
+// the data disk is hidden behind it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "disk/types.hpp"
+
+namespace trail::io {
+
+/// Identifies one data disk behind a driver. Encodes to the log format's
+/// (data_major, data_minor) byte pair.
+class DeviceId {
+ public:
+  constexpr DeviceId() = default;
+  constexpr DeviceId(std::uint8_t major, std::uint8_t minor) : major_(major), minor_(minor) {}
+
+  [[nodiscard]] constexpr std::uint8_t major() const { return major_; }
+  [[nodiscard]] constexpr std::uint8_t minor() const { return minor_; }
+  /// Dense index for table lookups: drivers register devices contiguously.
+  [[nodiscard]] constexpr std::uint16_t index() const {
+    return static_cast<std::uint16_t>(major_) << 8 | minor_;
+  }
+  constexpr auto operator<=>(const DeviceId&) const = default;
+
+ private:
+  std::uint8_t major_ = 0;
+  std::uint8_t minor_ = 0;
+};
+
+/// Address of a sector run on one data device.
+struct BlockAddr {
+  DeviceId device;
+  disk::Lba lba = 0;
+
+  constexpr bool operator==(const BlockAddr&) const = default;
+};
+
+/// The physical-disk-request interface of §4.1. Completions are invoked
+/// from the simulator at the virtual time the request's durability /
+/// data-return semantics are satisfied:
+///  - write: the data will survive a crash (on the log disk under Trail,
+///    on the data disk under the standard driver),
+///  - read: `out` has been filled.
+class BlockDriver {
+ public:
+  using Completion = std::function<void()>;
+
+  virtual ~BlockDriver() = default;
+
+  /// Synchronous-semantics write of `count` sectors. `data` is copied at
+  /// submission (callers may reuse their buffer immediately, matching the
+  /// buffer-unlock behaviour described in §4.2).
+  virtual void submit_write(BlockAddr addr, std::uint32_t count,
+                            std::span<const std::byte> data, Completion cb) = 0;
+
+  /// Read `count` sectors into `out` (caller keeps it alive to completion).
+  virtual void submit_read(BlockAddr addr, std::uint32_t count, std::span<std::byte> out,
+                           Completion cb) = 0;
+
+  /// Wait until all accepted writes are durable *on the data disks* (the
+  /// standard driver is trivially drained; Trail must finish write-back).
+  /// Used by clean shutdown.
+  virtual void drain(Completion cb) = 0;
+};
+
+}  // namespace trail::io

@@ -1,0 +1,49 @@
+#include "io/device_queue.hpp"
+
+#include <utility>
+
+namespace trail::io {
+
+DeviceQueue::DeviceQueue(disk::DiskDevice& device, std::unique_ptr<IoScheduler> scheduler)
+    : device_(device), scheduler_(std::move(scheduler)) {}
+
+void DeviceQueue::submit(PendingIo io) {
+  io.seq = next_seq_++;
+  scheduler_->push(std::move(io));
+  pump();
+}
+
+void DeviceQueue::clear() {
+  while (!scheduler_->empty()) (void)scheduler_->pop_next(0);
+}
+
+void DeviceQueue::pump() {
+  if (dispatched_) return;
+  while (!scheduler_->empty()) {
+    const disk::Lba head =
+        device_.geometry().first_lba_of_track(device_.current_track());
+    PendingIo io = scheduler_->pop_next(head);
+    if (io.cancelled && io.cancelled()) {
+      // Superseded while queued (Trail §4.2 skips such write-backs). Its
+      // completion still fires so bookkeeping can release resources.
+      if (io.on_complete) io.on_complete();
+      continue;
+    }
+    dispatched_ = true;
+    auto finish = [this, cb = std::move(io.on_complete)]() {
+      dispatched_ = false;
+      if (cb) cb();
+      pump();
+      if (idle() && on_idle_) on_idle_();
+    };
+    if (io.is_write) {
+      if (io.materialize) io.data = io.materialize();
+      device_.write(io.lba, io.count, io.data, std::move(finish));
+    } else {
+      device_.read(io.lba, io.count, io.out, std::move(finish));
+    }
+    return;
+  }
+}
+
+}  // namespace trail::io

@@ -1,0 +1,53 @@
+// DeviceQueue: a scheduling front-end for one DiskDevice.
+//
+// The DiskDevice itself services commands strictly FIFO; the DeviceQueue
+// holds requests back and releases exactly one at a time so the chosen
+// IoScheduler policy (elevator, priority classes) actually controls
+// service order. Both the standard baseline driver and Trail's write-back
+// engine are built on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "disk/disk_device.hpp"
+#include "io/scheduler.hpp"
+
+namespace trail::io {
+
+class DeviceQueue {
+ public:
+  DeviceQueue(disk::DiskDevice& device, std::unique_ptr<IoScheduler> scheduler);
+
+  DeviceQueue(const DeviceQueue&) = delete;
+  DeviceQueue& operator=(const DeviceQueue&) = delete;
+
+  /// Enqueue; dispatches immediately if the device is idle.
+  void submit(PendingIo io);
+
+  /// Requests queued here (excludes the one on the device).
+  [[nodiscard]] std::size_t queued() const { return scheduler_->size(); }
+  /// True when neither the queue nor the device holds work from us.
+  [[nodiscard]] bool idle() const { return !dispatched_ && scheduler_->empty(); }
+
+  [[nodiscard]] disk::DiskDevice& device() { return device_; }
+
+  /// Invoked whenever the queue becomes idle (used by drain logic).
+  void set_idle_callback(std::function<void()> cb) { on_idle_ = std::move(cb); }
+
+  /// Drop all queued requests (crash path). The in-flight one, if any, is
+  /// the DiskDevice's to forget.
+  void clear();
+
+ private:
+  void pump();
+
+  disk::DiskDevice& device_;
+  std::unique_ptr<IoScheduler> scheduler_;
+  std::uint64_t next_seq_ = 0;
+  bool dispatched_ = false;  // one of ours is on the device
+  std::function<void()> on_idle_;
+};
+
+}  // namespace trail::io

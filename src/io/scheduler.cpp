@@ -1,0 +1,72 @@
+#include "io/scheduler.hpp"
+
+#include <algorithm>
+#include <list>
+#include <map>
+
+namespace trail::io {
+
+namespace {
+
+/// Shared base: requests bucketed by priority class; subclasses define the
+/// in-class pick rule.
+class SchedulerBase : public IoScheduler {
+ public:
+  void push(PendingIo io) override {
+    classes_[io.priority].push_back(std::move(io));
+    ++size_;
+  }
+  [[nodiscard]] bool empty() const override { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+  PendingIo pop_next(disk::Lba head_position) override {
+    auto it = classes_.begin();
+    while (it != classes_.end() && it->second.empty()) it = classes_.erase(it);
+    PendingIo io = pick(it->second, head_position);
+    --size_;
+    return io;
+  }
+
+ protected:
+  using Bucket = std::list<PendingIo>;
+  virtual PendingIo pick(Bucket& bucket, disk::Lba head_position) = 0;
+
+ private:
+  std::map<int, Bucket> classes_;
+  std::size_t size_ = 0;
+};
+
+class FifoScheduler final : public SchedulerBase {
+ protected:
+  PendingIo pick(Bucket& bucket, disk::Lba /*head_position*/) override {
+    auto it = std::min_element(bucket.begin(), bucket.end(),
+                               [](const PendingIo& a, const PendingIo& b) { return a.seq < b.seq; });
+    PendingIo io = std::move(*it);
+    bucket.erase(it);
+    return io;
+  }
+};
+
+class ClookScheduler final : public SchedulerBase {
+ protected:
+  PendingIo pick(Bucket& bucket, disk::Lba head_position) override {
+    // Next LBA at or beyond the head, else wrap to the smallest LBA.
+    Bucket::iterator best = bucket.end();
+    Bucket::iterator smallest = bucket.begin();
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->lba < smallest->lba) smallest = it;
+      if (it->lba >= head_position && (best == bucket.end() || it->lba < best->lba)) best = it;
+    }
+    if (best == bucket.end()) best = smallest;
+    PendingIo io = std::move(*best);
+    bucket.erase(best);
+    return io;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IoScheduler> make_fifo_scheduler() { return std::make_unique<FifoScheduler>(); }
+std::unique_ptr<IoScheduler> make_clook_scheduler() { return std::make_unique<ClookScheduler>(); }
+
+}  // namespace trail::io

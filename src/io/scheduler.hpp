@@ -1,0 +1,58 @@
+// Per-device I/O scheduling policies.
+//
+// The standard-baseline driver uses C-LOOK (the Linux elevator of the
+// paper's era); Trail's write-back path uses FIFO queues but drains the
+// read class before the write class ("data disk reads are given higher
+// priority than data disk writes", §4.3). Priority classes are part of
+// the scheduler interface so both fall out of one mechanism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "disk/types.hpp"
+
+namespace trail::io {
+
+/// One sector-run request awaiting dispatch to a DiskDevice.
+struct PendingIo {
+  bool is_write = false;
+  disk::Lba lba = 0;
+  std::uint32_t count = 0;
+  std::vector<std::byte> data;        // write payload (owned)
+  std::span<std::byte> out;           // read destination (caller-owned)
+  int priority = 0;                   // lower value = dispatched first
+  std::uint64_t seq = 0;              // submission order (FIFO tie-break)
+  std::function<void()> on_complete;
+  std::function<bool()> cancelled;    // optional: skip at dispatch if true
+  /// Optional: produce the write payload at dispatch time instead of
+  /// submission time. Trail's write-back path uses this to write the
+  /// *latest* buffered content of a page, which is how superseded queued
+  /// write-backs collapse into one physical write (§4.2).
+  std::function<std::vector<std::byte>()> materialize;
+};
+
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  virtual void push(PendingIo io) = 0;
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Remove and return the next request to dispatch, given the head's
+  /// current position. Must only be called when !empty().
+  virtual PendingIo pop_next(disk::Lba head_position) = 0;
+};
+
+/// Strict arrival order within each priority class.
+std::unique_ptr<IoScheduler> make_fifo_scheduler();
+
+/// C-LOOK elevator within each priority class: service ascending LBAs from
+/// the head position, wrapping to the lowest pending LBA.
+std::unique_ptr<IoScheduler> make_clook_scheduler();
+
+}  // namespace trail::io

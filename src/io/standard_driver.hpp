@@ -1,0 +1,45 @@
+// StandardDriver — the baseline "Linux disk subsystem" of the paper's
+// evaluation: synchronous writes go straight through a per-device elevator
+// queue to the data disk and complete only when on the platter, paying
+// seek + rotational latency. This is the comparator in Fig. 3 and the
+// EXT2 / EXT2+GC rows of Table 2.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "disk/disk_device.hpp"
+#include "io/block.hpp"
+#include "io/device_queue.hpp"
+
+namespace trail::io {
+
+class StandardDriver final : public BlockDriver {
+ public:
+  enum class Scheduling { kFifo, kClook };
+
+  explicit StandardDriver(Scheduling scheduling = Scheduling::kClook)
+      : scheduling_(scheduling) {}
+
+  /// Register a data disk; returns its DeviceId (major 3 — "IDE disk" — and
+  /// minors assigned in order, echoing the paper's prototype).
+  DeviceId add_device(disk::DiskDevice& device);
+
+  void submit_write(BlockAddr addr, std::uint32_t count, std::span<const std::byte> data,
+                    Completion cb) override;
+  void submit_read(BlockAddr addr, std::uint32_t count, std::span<std::byte> out,
+                   Completion cb) override;
+  void drain(Completion cb) override;
+
+  [[nodiscard]] std::size_t device_count() const { return queues_.size(); }
+  [[nodiscard]] DeviceQueue& queue(DeviceId id) { return *queues_.at(index_of(id)); }
+
+ private:
+  [[nodiscard]] std::size_t index_of(DeviceId id) const;
+
+  Scheduling scheduling_;
+  std::vector<std::unique_ptr<DeviceQueue>> queues_;
+};
+
+}  // namespace trail::io

@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace trail::sim {
+
+EventId Simulator::schedule(Duration delay, Callback fn) {
+  if (delay < Duration{0}) delay = Duration{0};
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(TimePoint when, Callback fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  // Lazy cancellation: remember the sequence number; the dispatch loop
+  // discards the event when it surfaces.
+  if (std::find(cancelled_.begin(), cancelled_.end(), id.seq_) != cancelled_.end()) return false;
+  cancelled_.push_back(id.seq_);
+  ++cancelled_count_;
+  return true;
+}
+
+bool Simulator::dispatch_one() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top-with-move; copying the callback
+    // would be wasteful, so move out via const_cast (the element is popped
+    // immediately after and never observed again).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;
+    }
+    now_ = ev.when;
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return dispatch_one(); }
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (dispatch_one()) {
+    ++n;
+    if (event_limit_ != 0 && n > event_limit_)
+      throw SimulationOverrun("Simulator::run exceeded event limit");
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled events without advancing the clock.
+    const Event& top = queue_.top();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    dispatch_one();
+    ++n;
+    if (event_limit_ != 0 && n > event_limit_)
+      throw SimulationOverrun("Simulator::run_until exceeded event limit");
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace trail::sim

@@ -1,0 +1,106 @@
+// Discrete-event simulation core.
+//
+// The Simulator owns a virtual clock and a priority queue of events. All
+// device models (disks), drivers (Trail, the standard baseline) and
+// workload processes are written against it: they schedule callbacks at
+// future virtual times, and the run loop dispatches them in time order.
+// Ties are broken by insertion order, so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace trail::sim {
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+class EventId {
+ public:
+  constexpr EventId() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;  // 0 = "no event"
+};
+
+/// Thrown when the simulation run limit is exceeded (runaway model).
+class SimulationOverrun : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at now() + delay. Negative delays are clamped to 0.
+  EventId schedule(Duration delay, Callback fn);
+
+  /// Schedule `fn` at an absolute virtual time (>= now()).
+  EventId schedule_at(TimePoint when, Callback fn);
+
+  /// Cancel a pending event. Returns false if it already fired / was
+  /// cancelled / never existed. Cancellation is O(1) (lazy removal).
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until the queue drains or virtual time would pass `deadline`.
+  /// Events scheduled at exactly `deadline` still fire; the clock is then
+  /// advanced to `deadline` if it hasn't reached it.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Dispatch a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events currently pending (including lazily-cancelled ones).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_count_; }
+
+  /// Guard against runaway simulations: run()/run_until() throw
+  /// SimulationOverrun after this many dispatches (0 disables the check).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+  /// Total events dispatched over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_one();
+
+  TimePoint now_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily; small in practice
+  std::size_t cancelled_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t event_limit_ = 0;
+};
+
+}  // namespace trail::sim

@@ -1,0 +1,101 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace trail::sim {
+
+void Summary::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+  sumsq_ += v * v;
+}
+
+double Summary::mean() const {
+  if (values_.empty()) throw std::logic_error("Summary::mean on empty summary");
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  if (values_.empty()) throw std::logic_error("Summary::min on empty summary");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  if (values_.empty()) throw std::logic_error("Summary::max on empty summary");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double n = static_cast<double>(values_.size());
+  const double var = (sumsq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::percentile(double p) const {
+  if (values_.empty()) throw std::logic_error("Summary::percentile on empty summary");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values_.size())));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+void Summary::clear() {
+  values_.clear();
+  sorted_ = false;
+  sum_ = 0.0;
+  sumsq_ = 0.0;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c == 0)
+        std::printf("%-*s", static_cast<int>(widths[c]), row[c].c_str());
+      else
+        std::printf("  %*s", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace trail::sim

@@ -1,0 +1,94 @@
+// Strongly-typed virtual time for the discrete-event simulator.
+//
+// All latency modelling in the project is done in virtual nanoseconds.
+// Duration and TimePoint are distinct types so that "a point on the
+// simulated clock" and "an interval" cannot be mixed up silently.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace trail::sim {
+
+/// A signed interval of virtual time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+  friend constexpr Duration operator%(Duration a, Duration b) { return Duration{a.ns_ % b.ns_}; }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.ns_}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A point on the simulated clock (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ + d.ns()};
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration{a.ns_ - b.ns_}; }
+
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// Construction helpers. Durations in this project are almost always written
+// as a count of some human unit; these keep call sites readable.
+constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+constexpr Duration micros(std::int64_t n) { return Duration{n * 1'000}; }
+constexpr Duration millis(std::int64_t n) { return Duration{n * 1'000'000}; }
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+constexpr Duration micros_f(double n) { return Duration{static_cast<std::int64_t>(n * 1e3)}; }
+constexpr Duration millis_f(double n) { return Duration{static_cast<std::int64_t>(n * 1e6)}; }
+constexpr Duration seconds_f(double n) { return Duration{static_cast<std::int64_t>(n * 1e9)}; }
+
+/// Render a duration as a human-readable string ("1.500 ms", "12.0 us", ...).
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace trail::sim

@@ -1,0 +1,197 @@
+// Failure-injection suite: media corruption and damaged metadata, beyond
+// the clean power-cut crashes of test_recovery.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "trail_fixture.hpp"
+
+namespace trail::testing {
+namespace {
+
+using core::LogDiskLayout;
+using disk::kSectorSize;
+
+class FaultInjectionTest : public TrailFixture {
+ protected:
+  FaultInjectionTest() : TrailFixture(2) {}
+
+  void corrupt_sector(disk::DiskDevice& dev, disk::Lba lba) {
+    std::vector<std::byte> junk(kSectorSize);
+    sim::Rng rng(lba * 7 + 1);
+    for (auto& b : junk) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+    dev.store().write(lba, 1, junk);
+  }
+};
+
+TEST_F(FaultInjectionTest, HeaderReplicaZeroCorruptionFallsBack) {
+  start();
+  write_sync({devices[0], 10}, make_pattern(2, 1));
+  driver->unmount();
+  driver.reset();
+
+  // Destroy the primary header replica; mount must fall back to replica 1.
+  const LogDiskLayout layout(log_disk->geometry());
+  corrupt_sector(*log_disk, layout.header_lba(0));
+  start();
+  EXPECT_TRUE(driver->mounted());
+  EXPECT_EQ(driver->epoch(), 2u);
+  verify_all_acknowledged_durable();
+}
+
+TEST_F(FaultInjectionTest, AllReplicasCorruptedRefusesMount) {
+  start();
+  driver->unmount();
+  driver.reset();
+  const LogDiskLayout layout(log_disk->geometry());
+  for (int r = 0; r < layout.replica_count(); ++r)
+    corrupt_sector(*log_disk, layout.header_lba(r));
+  // The driver refuses the disk outright: no replica carries the signature.
+  EXPECT_THROW(core::TrailDriver(sim, *log_disk), std::invalid_argument);
+}
+
+TEST_F(FaultInjectionTest, ReplicaCorruptionDuringCrashStillRecovers) {
+  start();
+  for (auto& d : data_disks) d->crash_halt();
+  for (int i = 0; i < 5; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(i * 4)}, make_pattern(2, 10 + i));
+  driver->crash();
+  driver.reset();
+  log_disk->restart();
+  for (auto& d : data_disks) d->restart();
+  // Replica 0 dies in the crash (e.g. a head landing): recovery must use
+  // the survivors and still find the records.
+  const LogDiskLayout layout(log_disk->geometry());
+  corrupt_sector(*log_disk, layout.header_lba(0));
+  start();
+  EXPECT_EQ(driver->last_recovery().records_found, 5u);
+  verify_all_acknowledged_durable();
+}
+
+TEST_F(FaultInjectionTest, GarbageOnUnusedTracksIsIgnored) {
+  // Sprinkle random sectors over unused areas of a freshly formatted log
+  // disk; they must not parse as records or derail recovery.
+  start();
+  sim::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto track = static_cast<disk::TrackId>(
+        rng.uniform(10, static_cast<std::int64_t>(log_disk->geometry().track_count()) - 2));
+    const auto base = log_disk->geometry().first_lba_of_track(track);
+    corrupt_sector(*log_disk, base + static_cast<disk::Lba>(rng.uniform(
+                                         0, log_disk->geometry().spt_of_track(track) - 1)));
+  }
+  for (auto& d : data_disks) d->crash_halt();
+  write_sync({devices[0], 100}, make_pattern(2, 42));
+  crash_and_remount();
+  EXPECT_EQ(driver->last_recovery().records_found, 1u);
+  verify_all_acknowledged_durable();
+}
+
+TEST_F(FaultInjectionTest, AdversarialPayloadMimicsRecordHeader) {
+  // Write user data that is a byte-exact serialized record header with a
+  // huge sequence_id. If the first-byte escaping failed, recovery would
+  // pick it up as "youngest" and follow garbage pointers.
+  start();
+  core::RecordHeader fake;
+  fake.batch_size = 1;
+  fake.epoch = 1;               // matches the live epoch
+  fake.sequence_id = 0xFFFFFF;  // "newer" than anything real
+  fake.prev_sect = 12345;
+  fake.log_head = 12345;
+  fake.entries.resize(1);
+  std::vector<std::byte> payload(kSectorSize);
+  core::serialize_record_header(fake, payload);
+
+  for (auto& d : data_disks) d->crash_halt();
+  bool acked = false;
+  driver->submit_write({devices[0], 500}, 1, payload, [&] { acked = true; });
+  pump(acked);
+  write_sync({devices[0], 700}, make_pattern(1, 7));
+  crash_and_remount();
+  // Exactly the two real records; the fake header was escaped to payload.
+  EXPECT_EQ(driver->last_recovery().records_found, 2u);
+  // And the adversarial payload round-trips byte-exactly.
+  std::vector<std::byte> got(kSectorSize);
+  data_disks[0]->store().read(500, 1, got);
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(FaultInjectionTest, TornPayloadMidChainThrows) {
+  // Corrupting an *acknowledged* record's payload is data loss beyond the
+  // crash contract; recovery must detect it loudly (CRC) instead of
+  // replaying garbage.
+  start();
+  for (auto& d : data_disks) d->crash_halt();
+  std::vector<disk::Lba> header_lbas;
+  for (int i = 0; i < 3; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(i * 4)}, make_pattern(2, 30 + i));
+  driver->crash();
+  driver.reset();
+  log_disk->restart();
+  for (auto& d : data_disks) d->restart();
+
+  // Find the OLDEST record's payload on the log disk and flip a byte.
+  // (Scan the store offline for record headers; easiest via classify.)
+  disk::SectorBuf sector{};
+  disk::Lba oldest_payload = 0;
+  std::uint32_t best_seq = ~0u;
+  for (disk::Lba lba = 0; lba < log_disk->geometry().total_sectors(); ++lba) {
+    if (!log_disk->store().is_written(lba)) continue;
+    log_disk->store().read(lba, 1, sector);
+    const auto hdr = core::parse_record_header(sector);
+    if (hdr && hdr->epoch == 1 && hdr->sequence_id < best_seq) {
+      best_seq = hdr->sequence_id;
+      oldest_payload = lba + 1;
+    }
+  }
+  ASSERT_NE(best_seq, ~0u);
+  log_disk->store().read(oldest_payload, 1, sector);
+  sector[100] ^= std::byte{0x01};
+  log_disk->store().write(oldest_payload, 1, sector);
+
+  driver = std::make_unique<core::TrailDriver>(sim, *log_disk);
+  for (auto& d : data_disks) (void)driver->add_data_disk(*d);
+  EXPECT_THROW(driver->mount(), std::runtime_error);
+  driver.reset();
+}
+
+TEST_F(FaultInjectionTest, CrashDuringRecoveryWriteBackIsRecoverable) {
+  // Power fails AGAIN while recovery is writing records back: the log
+  // disk still holds everything (write-back only reads it), so a third
+  // boot recovers cleanly.
+  start();
+  for (auto& d : data_disks) d->crash_halt();
+  for (int i = 0; i < 6; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(i * 4)}, make_pattern(2, 60 + i));
+  driver->crash();
+  driver.reset();
+  log_disk->restart();
+  for (auto& d : data_disks) d->restart();
+
+  // Second boot: crash it partway through mount's recovery write-back by
+  // bounding the simulator horizon.
+  auto boot2 = std::make_unique<core::TrailDriver>(sim, *log_disk);
+  for (auto& d : data_disks) (void)boot2->add_data_disk(*d);
+  bool mounted2 = false;
+  try {
+    // Drive mount but cut the power after a bounded number of events.
+    sim.set_event_limit(400);  // enough to start write-back, not finish
+    boot2->mount();
+    mounted2 = true;
+  } catch (const sim::SimulationOverrun&) {
+    // "power failed" mid-recovery.
+  }
+  sim.set_event_limit(0);
+  boot2->crash();
+  boot2.reset();
+  log_disk->restart();
+  for (auto& d : data_disks) d->restart();
+  (void)mounted2;
+
+  // Third boot: full recovery.
+  start();
+  verify_all_acknowledged_durable();
+}
+
+}  // namespace
+}  // namespace trail::testing

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/geometry.hpp"
+#include "disk/profile.hpp"
+#include "sim/random.hpp"
+
+namespace trail::disk {
+namespace {
+
+Geometry small() {
+  return Geometry{2, {Zone{4, 10}, Zone{4, 8}}, 0.25};
+}
+
+TEST(Geometry, Totals) {
+  const Geometry g = small();
+  EXPECT_EQ(g.cylinders(), 8u);
+  EXPECT_EQ(g.surfaces(), 2u);
+  EXPECT_EQ(g.track_count(), 16u);
+  EXPECT_EQ(g.total_sectors(), 4u * 2 * 10 + 4u * 2 * 8);
+}
+
+TEST(Geometry, SptPerZone) {
+  const Geometry g = small();
+  EXPECT_EQ(g.spt_of_cylinder(0), 10u);
+  EXPECT_EQ(g.spt_of_cylinder(3), 10u);
+  EXPECT_EQ(g.spt_of_cylinder(4), 8u);
+  EXPECT_EQ(g.spt_of_cylinder(7), 8u);
+  EXPECT_THROW(g.spt_of_cylinder(8), std::out_of_range);
+}
+
+TEST(Geometry, LbaZeroIsOrigin) {
+  const Geometry g = small();
+  const Chs chs = g.to_chs(0);
+  EXPECT_EQ(chs, (Chs{0, 0, 0}));
+}
+
+TEST(Geometry, LbaLayoutIsTrackThenSurfaceThenCylinder) {
+  const Geometry g = small();
+  EXPECT_EQ(g.to_chs(9), (Chs{0, 0, 9}));    // end of first track
+  EXPECT_EQ(g.to_chs(10), (Chs{0, 1, 0}));   // next surface
+  EXPECT_EQ(g.to_chs(20), (Chs{1, 0, 0}));   // next cylinder
+  // First sector of the second zone: 4 cylinders * 2 surfaces * 10 spt = 80.
+  EXPECT_EQ(g.to_chs(80), (Chs{4, 0, 0}));
+  EXPECT_EQ(g.spt_of_track(g.track_of_lba(80)), 8u);
+}
+
+TEST(Geometry, RoundTripAllSectors) {
+  const Geometry g = small();
+  for (Lba lba = 0; lba < g.total_sectors(); ++lba) {
+    const Chs chs = g.to_chs(lba);
+    EXPECT_EQ(g.to_lba(chs), lba);
+  }
+}
+
+TEST(Geometry, OutOfRangeThrows) {
+  const Geometry g = small();
+  EXPECT_THROW(g.to_chs(g.total_sectors()), std::out_of_range);
+  EXPECT_THROW(g.to_lba(Chs{0, 2, 0}), std::out_of_range);
+  EXPECT_THROW(g.to_lba(Chs{0, 0, 10}), std::out_of_range);
+  EXPECT_THROW(g.to_lba(Chs{8, 0, 0}), std::out_of_range);
+}
+
+TEST(Geometry, TrackHelpers) {
+  const Geometry g = small();
+  const TrackId t = g.track_of(3, 1);
+  EXPECT_EQ(t, 3u * 2 + 1);
+  EXPECT_EQ(g.cylinder_of_track(t), 3u);
+  EXPECT_EQ(g.surface_of_track(t), 1u);
+  EXPECT_EQ(g.first_lba_of_track(t), g.to_lba(Chs{3, 1, 0}));
+  EXPECT_EQ(g.track_of_lba(g.first_lba_of_track(t)), t);
+}
+
+TEST(Geometry, AngleCoversFullCircle) {
+  const Geometry g = small();
+  const TrackId t = 5;
+  const std::uint32_t spt = g.spt_of_track(t);
+  double prev = g.angle_of(t, 0);
+  for (std::uint32_t s = 1; s < spt; ++s) {
+    double a = g.angle_of(t, s);
+    // Consecutive sectors are 1/spt of a revolution apart (mod 1).
+    double diff = a - prev;
+    if (diff < 0) diff += 1.0;
+    EXPECT_NEAR(diff, 1.0 / spt, 1e-9);
+    prev = a;
+  }
+}
+
+TEST(Geometry, SectorAtAngleInvertsAngleOf) {
+  const Geometry g = small();
+  for (TrackId t = 0; t < g.track_count(); ++t) {
+    const std::uint32_t spt = g.spt_of_track(t);
+    for (std::uint32_t s = 0; s < spt; ++s) {
+      // Probe just inside the sector's span.
+      const double a = g.angle_of(t, s) + 0.25 / spt;
+      EXPECT_EQ(g.sector_at_angle(t, a - std::floor(a)), s) << "track " << t << " sector " << s;
+    }
+  }
+}
+
+TEST(Geometry, SkewShiftsTracks) {
+  const Geometry g = small();  // skew 0.25
+  EXPECT_NEAR(g.angle_of(0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(g.angle_of(1, 0), 0.25, 1e-9);
+  EXPECT_NEAR(g.angle_of(4, 0), 0.0, 1e-9);  // wraps
+}
+
+TEST(Geometry, ZeroSkewAligns) {
+  const Geometry g{2, {Zone{2, 16}}, 0.0};
+  EXPECT_NEAR(g.angle_of(0, 4), g.angle_of(3, 4), 1e-9);
+}
+
+TEST(Geometry, InvalidConstructionThrows) {
+  EXPECT_THROW(Geometry(0, {Zone{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Geometry(1, {}), std::invalid_argument);
+  EXPECT_THROW(Geometry(1, {Zone{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(Geometry(1, {Zone{5, 0}}), std::invalid_argument);
+  EXPECT_THROW(Geometry(1, {Zone{1, 1}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Geometry(1, {Zone{1, 1}}, -0.1), std::invalid_argument);
+}
+
+/// Property sweep: round-trip and track bounds on every preset profile.
+class GeometryProfileTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static DiskProfile profile_for(const std::string& name) {
+    if (name == "st41601n") return st41601n();
+    if (name == "wd") return wd_caviar_10g();
+    if (name == "small") return small_test_disk();
+    return fixed_head_drum();
+  }
+};
+
+TEST_P(GeometryProfileTest, SampledRoundTrip) {
+  const DiskProfile p = profile_for(GetParam());
+  const Geometry& g = p.geometry;
+  sim::Rng rng(2026);
+  for (int i = 0; i < 5000; ++i) {
+    const Lba lba = static_cast<Lba>(
+        rng.uniform(0, static_cast<std::int64_t>(g.total_sectors()) - 1));
+    const Chs chs = g.to_chs(lba);
+    EXPECT_EQ(g.to_lba(chs), lba);
+    EXPECT_LT(chs.cylinder, g.cylinders());
+    EXPECT_LT(chs.surface, g.surfaces());
+    EXPECT_LT(chs.sector, g.spt_of_cylinder(chs.cylinder));
+  }
+}
+
+TEST_P(GeometryProfileTest, TrackFirstLbaConsistent) {
+  const DiskProfile p = profile_for(GetParam());
+  const Geometry& g = p.geometry;
+  sim::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const TrackId t =
+        static_cast<TrackId>(rng.uniform(0, static_cast<std::int64_t>(g.track_count()) - 1));
+    const Lba first = g.first_lba_of_track(t);
+    EXPECT_EQ(g.track_of_lba(first), t);
+    if (first > 0) EXPECT_EQ(g.track_of_lba(first - 1), t - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, GeometryProfileTest,
+                         ::testing::Values("st41601n", "wd", "small", "drum"));
+
+TEST(Profiles, St41601nMatchesPaper) {
+  const DiskProfile p = st41601n();
+  // §5.3: "a total of 35,717 tracks are in our testing disk".
+  EXPECT_EQ(p.geometry.track_count(), 35'717u);
+  // ~1.37 GB drive.
+  const double gb = static_cast<double>(p.geometry.total_sectors()) * kSectorSize / 1e9;
+  EXPECT_NEAR(gb, 1.37, 0.03);
+  // 5400 RPM => 11.1 ms rotation.
+  EXPECT_NEAR(p.rotation_time().ms(), 11.11, 0.01);
+  EXPECT_NEAR(p.seek.track_to_track.ms(), 1.7, 1e-9);
+}
+
+TEST(Profiles, WdCaviarIsRoughly10GB) {
+  const DiskProfile p = wd_caviar_10g();
+  const double gb = static_cast<double>(p.geometry.total_sectors()) * kSectorSize / 1e9;
+  EXPECT_NEAR(gb, 10.0, 0.6);
+}
+
+TEST(Profiles, ActualRotationFollowsDrift) {
+  DiskProfile p = small_test_disk();
+  p.rotation_drift_ppm = 1000.0;  // 0.1%
+  EXPECT_NEAR(static_cast<double>(p.actual_rotation_time().ns()),
+              static_cast<double>(p.rotation_time().ns()) * 1.001, 2.0);
+  p.rotation_drift_ppm = 0.0;
+  EXPECT_EQ(p.actual_rotation_time().ns(), p.rotation_time().ns());
+}
+
+}  // namespace
+}  // namespace trail::disk

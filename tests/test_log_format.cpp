@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/crc32.hpp"
+#include "core/log_format.hpp"
+#include "disk/profile.hpp"
+#include "sim/random.hpp"
+
+namespace trail::core {
+namespace {
+
+using disk::kSectorSize;
+using disk::SectorBuf;
+
+TEST(Crc32, KnownVectors) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(std::span<const std::byte>(reinterpret_cast<const std::byte*>(s), 9)),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(std::span<const std::byte>{}), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x3C});
+  const std::uint32_t c = crc32(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), c);
+}
+
+TEST(DiskHeader, RoundTrip) {
+  SectorBuf sector{};
+  const LogDiskHeader hdr{7, 0, 123};
+  serialize_disk_header(hdr, sector);
+  const auto parsed = parse_disk_header(sector);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, hdr);
+}
+
+TEST(DiskHeader, RejectsCorruption) {
+  SectorBuf sector{};
+  serialize_disk_header(LogDiskHeader{1, 1, 0}, sector);
+  SectorBuf bad = sector;
+  bad[10] ^= std::byte{0xFF};
+  EXPECT_FALSE(parse_disk_header(bad).has_value());
+  bad = sector;
+  bad[1] = std::byte{'X'};  // signature
+  EXPECT_FALSE(parse_disk_header(bad).has_value());
+  SectorBuf zero{};
+  EXPECT_FALSE(parse_disk_header(zero).has_value());
+}
+
+TEST(GeometryBlock, RoundTrip) {
+  const disk::DiskProfile p = disk::st41601n();
+  SectorBuf sector{};
+  serialize_geometry(p.geometry, p.rpm, sector);
+  const auto parsed = parse_geometry(sector);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->geometry.surfaces(), p.geometry.surfaces());
+  EXPECT_EQ(parsed->geometry.cylinders(), p.geometry.cylinders());
+  EXPECT_EQ(parsed->geometry.total_sectors(), p.geometry.total_sectors());
+  EXPECT_DOUBLE_EQ(parsed->geometry.skew_fraction(), p.geometry.skew_fraction());
+  EXPECT_DOUBLE_EQ(parsed->rpm, p.rpm);
+  ASSERT_EQ(parsed->geometry.zones().size(), p.geometry.zones().size());
+  for (std::size_t i = 0; i < p.geometry.zones().size(); ++i) {
+    EXPECT_EQ(parsed->geometry.zones()[i].cylinder_count, p.geometry.zones()[i].cylinder_count);
+    EXPECT_EQ(parsed->geometry.zones()[i].sectors_per_track,
+              p.geometry.zones()[i].sectors_per_track);
+  }
+}
+
+TEST(GeometryBlock, RejectsCorruption) {
+  const disk::DiskProfile p = disk::small_test_disk();
+  SectorBuf sector{};
+  serialize_geometry(p.geometry, p.rpm, sector);
+  sector[40] ^= std::byte{0x01};
+  EXPECT_FALSE(parse_geometry(sector).has_value());
+}
+
+RecordHeader sample_record(std::uint32_t batch) {
+  RecordHeader hdr;
+  hdr.batch_size = batch;
+  hdr.epoch = 3;
+  hdr.sequence_id = 42;
+  hdr.prev_sect = 1000;
+  hdr.log_head = 900;
+  hdr.payload_crc = 0xDEADBEEF;
+  for (std::uint32_t i = 0; i < batch; ++i) {
+    RecordEntry e;
+    e.first_data_byte = static_cast<std::uint8_t>(i * 7 + 1);
+    e.log_lba = 2000 + i;
+    e.data_lba = 5000 + i * 3;
+    e.data_major = 3;
+    e.data_minor = static_cast<std::uint8_t>(i % 2);
+    hdr.entries.push_back(e);
+  }
+  return hdr;
+}
+
+TEST(RecordHeaderCodec, RoundTripAllBatchSizes) {
+  for (std::uint32_t batch = 1; batch <= kMaxTrailBatch; ++batch) {
+    SectorBuf sector{};
+    const RecordHeader hdr = sample_record(batch);
+    serialize_record_header(hdr, sector);
+    EXPECT_EQ(sector[0], kHeaderFirstByte);
+    const auto parsed = parse_record_header(sector);
+    ASSERT_TRUE(parsed.has_value()) << "batch " << batch;
+    EXPECT_EQ(*parsed, hdr);
+  }
+}
+
+TEST(RecordHeaderCodec, RejectsBadInput) {
+  SectorBuf sector{};
+  serialize_record_header(sample_record(4), sector);
+  SectorBuf bad = sector;
+  bad[20] ^= std::byte{0x40};
+  EXPECT_FALSE(parse_record_header(bad).has_value());
+  bad = sector;
+  bad[0] = std::byte{0x00};
+  EXPECT_FALSE(parse_record_header(bad).has_value());
+
+  RecordHeader invalid = sample_record(2);
+  invalid.batch_size = 3;  // entries mismatch
+  EXPECT_THROW(serialize_record_header(invalid, sector), std::invalid_argument);
+  RecordHeader zero = sample_record(1);
+  zero.entries.clear();
+  zero.batch_size = 0;
+  EXPECT_THROW(serialize_record_header(zero, sector), std::invalid_argument);
+}
+
+TEST(RecordHeaderCodec, RandomSectorAlmostNeverParses) {
+  sim::Rng rng(1);
+  SectorBuf sector{};
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (auto& b : sector) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+    EXPECT_FALSE(parse_record_header(sector).has_value());
+  }
+}
+
+TEST(Escaping, HeaderAndPayloadAreDistinguishable) {
+  // The core self-description property (§3.2): any payload sector, even
+  // one whose content is an exact record-header image, is classified as
+  // payload after escaping.
+  SectorBuf header_image{};
+  serialize_record_header(sample_record(8), header_image);
+  EXPECT_EQ(classify_sector(header_image), SectorKind::kRecordHeader);
+
+  SectorBuf payload = header_image;  // adversarial payload
+  const std::uint8_t original = escape_payload_sector(payload);
+  EXPECT_EQ(original, 0xFF);
+  EXPECT_EQ(payload[0], kDataFirstByte);
+  EXPECT_EQ(classify_sector(payload), SectorKind::kPayload);
+
+  unescape_payload_sector(payload, original);
+  EXPECT_EQ(std::memcmp(payload.data(), header_image.data(), kSectorSize), 0);
+}
+
+TEST(Escaping, RoundTripsRandomPayloads) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    SectorBuf sector{};
+    for (auto& b : sector) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+    const SectorBuf original = sector;
+    const std::uint8_t first = escape_payload_sector(sector);
+    EXPECT_EQ(sector[0], kDataFirstByte);
+    EXPECT_NE(classify_sector(sector), SectorKind::kRecordHeader);
+    unescape_payload_sector(sector, first);
+    EXPECT_EQ(sector, original);
+  }
+}
+
+TEST(RecordKey, OrdersAcrossEpochs) {
+  EXPECT_LT(record_key(1, 0xFFFFFFFFu), record_key(2, 0));
+  EXPECT_LT(record_key(2, 5), record_key(2, 6));
+  RecordHeader hdr = sample_record(1);
+  EXPECT_EQ(record_key(hdr), record_key(hdr.epoch, hdr.sequence_id));
+}
+
+TEST(ClassifySector, OtherBytes) {
+  SectorBuf sector{};
+  sector[0] = std::byte{0x7F};
+  EXPECT_EQ(classify_sector(sector), SectorKind::kOther);
+  EXPECT_EQ(classify_sector({}), SectorKind::kOther);
+}
+
+}  // namespace
+}  // namespace trail::core

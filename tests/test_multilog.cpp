@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "trail_fixture.hpp"
+
+namespace trail::testing {
+namespace {
+
+using core::TrailConfig;
+using disk::kSectorSize;
+
+/// Fixture with TWO log disks behind the driver (§5.1's final optimization).
+class MultiLogTest : public ::testing::Test {
+ protected:
+  static constexpr int kLogDisks = 2;
+
+  MultiLogTest() {
+    for (int i = 0; i < kLogDisks; ++i) {
+      log_disks.push_back(
+          std::make_unique<disk::DiskDevice>(sim, disk::small_test_disk()));
+      core::format_log_disk(*log_disks.back());
+    }
+    for (int i = 0; i < 2; ++i)
+      data_disks.push_back(std::make_unique<disk::DiskDevice>(sim, disk::small_test_disk()));
+  }
+
+  void start(TrailConfig config = {}) {
+    std::vector<disk::DiskDevice*> logs;
+    for (auto& d : log_disks) logs.push_back(d.get());
+    driver = std::make_unique<core::TrailDriver>(sim, logs, config);
+    devices.clear();
+    for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
+    driver->mount();
+  }
+
+  void crash_and_remount(TrailConfig config = {}) {
+    driver->crash();
+    driver.reset();
+    for (auto& d : log_disks) d->restart();
+    for (auto& d : data_disks) d->restart();
+    start(config);
+  }
+
+  sim::Duration write_sync(io::BlockAddr addr, std::span<const std::byte> data) {
+    const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
+    const sim::TimePoint t0 = sim.now();
+    bool fired = false;
+    sim::TimePoint done = t0;
+    driver->submit_write(addr, count, data, [&] {
+      fired = true;
+      done = sim.now();
+    });
+    pump(fired);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      expected_[{addr.device.index(), addr.lba + i}] =
+          std::vector<std::byte>(data.begin() + static_cast<std::ptrdiff_t>(i) * kSectorSize,
+                                 data.begin() + static_cast<std::ptrdiff_t>(i + 1) * kSectorSize);
+    }
+    return done - t0;
+  }
+
+  void verify_all_acknowledged_durable() {
+    for (const auto& [key, bytes] : expected_) {
+      std::vector<std::byte> out(kSectorSize);
+      bool fired = false;
+      driver->submit_read({io::DeviceId{static_cast<std::uint8_t>(key.first >> 8),
+                                        static_cast<std::uint8_t>(key.first & 0xFF)},
+                           key.second},
+                          1, out, [&] { fired = true; });
+      pump(fired);
+      ASSERT_EQ(std::memcmp(out.data(), bytes.data(), kSectorSize), 0)
+          << "lost sector at lba " << key.second;
+    }
+  }
+
+  void settle() {
+    bool done = false;
+    driver->drain([&] { done = true; });
+    pump(done);
+  }
+
+  void pump(const bool& flag) {
+    while (!flag) {
+      if (!sim.step()) {
+        ADD_FAILURE() << "simulation stalled";
+        return;
+      }
+    }
+  }
+
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<disk::DiskDevice>> log_disks;
+  std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
+  std::unique_ptr<core::TrailDriver> driver;
+  std::vector<io::DeviceId> devices;
+  std::map<std::pair<std::uint16_t, disk::Lba>, std::vector<std::byte>> expected_;
+};
+
+TEST_F(MultiLogTest, MountsWithTwoLogDisks) {
+  start();
+  EXPECT_EQ(driver->log_disk_count(), 2u);
+  EXPECT_TRUE(driver->mounted());
+}
+
+TEST_F(MultiLogTest, WritesSpreadAcrossBothLogDisks) {
+  TrailConfig cfg;
+  cfg.track_utilization_threshold = 0.0;  // reposition after every write
+  cfg.max_requests_per_physical = 1;
+  start(cfg);
+  for (int i = 0; i < 20; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(i * 2)}, make_pattern(1, i));
+  // Both disks must have received log writes.
+  EXPECT_GT(log_disks[0]->stats().writes, 2u);
+  EXPECT_GT(log_disks[1]->stats().writes, 2u);
+  settle();
+  verify_all_acknowledged_durable();
+}
+
+TEST_F(MultiLogTest, HidesRepositioningFromClusteredWrites) {
+  // With threshold 0 and no batching, every write is followed by a
+  // repositioning read. A single log disk serializes write->reposition->
+  // write; two log disks overlap them (§5.1's "completely hide the disk
+  // re-positioning overhead").
+  auto run_with = [](int n_logs) {
+    sim::Simulator sim;
+    std::vector<std::unique_ptr<disk::DiskDevice>> logs;
+    std::vector<disk::DiskDevice*> raw;
+    for (int i = 0; i < n_logs; ++i) {
+      logs.push_back(std::make_unique<disk::DiskDevice>(sim, disk::small_test_disk()));
+      core::format_log_disk(*logs.back());
+      raw.push_back(logs.back().get());
+    }
+    disk::DiskDevice data(sim, disk::small_test_disk());
+    TrailConfig cfg;
+    cfg.track_utilization_threshold = 0.0;
+    cfg.max_requests_per_physical = 1;
+    core::TrailDriver driver(sim, raw, cfg);
+    auto dev = driver.add_data_disk(data);
+    driver.mount();
+
+    // Clustered one-sector writes.
+    const int n = 30;
+    int acked = 0;
+    const sim::TimePoint t0 = sim.now();
+    std::vector<std::byte> sector(kSectorSize, std::byte{1});
+    std::function<void()> next = [&] {
+      if (acked >= n) return;
+      driver.submit_write({dev, static_cast<disk::Lba>(acked * 2)}, 1, sector, [&] {
+        ++acked;
+        next();
+      });
+    };
+    next();
+    while (acked < n)
+      if (!sim.step()) throw std::runtime_error("stalled");
+    return (sim.now() - t0).ms() / n;
+  };
+
+  const double one = run_with(1);
+  const double two = run_with(2);
+  EXPECT_LT(two, one * 0.75) << "second log disk should hide repositioning: " << one
+                             << " ms vs " << two << " ms";
+}
+
+TEST_F(MultiLogTest, CrashRecoveryMergesChainsAcrossDisks) {
+  TrailConfig cfg;
+  cfg.track_utilization_threshold = 0.0;
+  cfg.max_requests_per_physical = 1;
+  start(cfg);
+  for (auto& d : data_disks) d->crash_halt();  // keep all records pending
+  for (int i = 0; i < 12; ++i)
+    write_sync({devices[static_cast<std::size_t>(i) % 2], static_cast<disk::Lba>(i * 2)},
+               make_pattern(2, 100 + i));
+  crash_and_remount();
+  EXPECT_EQ(driver->last_recovery().records_found, 12u)
+      << "the prev_sect chain must cross log disks";
+  verify_all_acknowledged_durable();
+}
+
+TEST_F(MultiLogTest, RecoveryWithoutWritebackAdoptsAcrossDisks) {
+  start();
+  for (auto& d : data_disks) d->crash_halt();
+  for (int i = 0; i < 10; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(i * 4)}, make_pattern(2, 50 + i));
+  TrailConfig cfg;
+  cfg.recovery_write_back = false;
+  crash_and_remount(cfg);
+  EXPECT_EQ(driver->last_recovery().records_found, 10u);
+  verify_all_acknowledged_durable();
+  settle();
+  // And everything landed on the data disks eventually.
+  for (const auto& [key, bytes] : expected_) {
+    std::vector<std::byte> got(kSectorSize);
+    data_disks[key.first & 0xFF]->store().read(key.second, 1, got);
+    ASSERT_EQ(got, bytes);
+  }
+}
+
+TEST_F(MultiLogTest, RepeatedCrashCyclesAcrossDisks) {
+  start();
+  std::uint64_t seed = 1;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int i = 0; i < 5; ++i)
+      write_sync({devices[static_cast<std::size_t>(i) % 2],
+                  static_cast<disk::Lba>(cycle * 40 + i * 4)},
+                 make_pattern(2, seed++));
+    if (cycle % 2 == 0) settle();
+    crash_and_remount();
+    verify_all_acknowledged_durable();
+  }
+}
+
+TEST_F(MultiLogTest, TooManyLogDisksRejected) {
+  std::vector<disk::DiskDevice*> logs(16, log_disks[0].get());
+  EXPECT_THROW(core::TrailDriver(sim, logs), std::invalid_argument);
+  EXPECT_THROW(core::TrailDriver(sim, std::vector<disk::DiskDevice*>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trail::testing
+
+namespace trail::testing {
+namespace {
+
+TEST_F(MultiLogTest, DirectLoggingSpreadsAndRecoversAcrossDisks) {
+  TrailConfig cfg;
+  cfg.track_utilization_threshold = 0.0;  // force per-append track switches
+  cfg.max_requests_per_physical = 1;
+  start(cfg);
+  // Direct appends, one at a time: with both disks available the driver
+  // alternates units; all records must come back after a crash.
+  std::vector<std::vector<std::byte>> appended;
+  std::uint64_t cookie = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::byte> bytes(600 + static_cast<std::size_t>(i) * 10);
+    for (std::size_t b = 0; b < bytes.size(); ++b)
+      bytes[b] = std::byte(static_cast<std::uint8_t>(i * 31 + b));
+    bool done = false;
+    driver->append_direct(bytes, cookie, [&] { done = true; });
+    pump(done);
+    cookie += bytes.size();
+    appended.push_back(std::move(bytes));
+  }
+  EXPECT_GT(log_disks[0]->stats().writes, 1u);
+  EXPECT_GT(log_disks[1]->stats().writes, 1u);
+
+  crash_and_remount(cfg);
+  const auto& recovered = driver->recovered_direct_log();
+  ASSERT_EQ(recovered.size(), appended.size());
+  std::uint64_t expect_cookie = 0;
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].header.entries.front().data_lba, expect_cookie) << i;
+    ASSERT_GE(recovered[i].payload.size(), appended[i].size());
+    EXPECT_EQ(std::memcmp(recovered[i].payload.data(), appended[i].data(),
+                          appended[i].size()),
+              0)
+        << "direct payload " << i;
+    expect_cookie += appended[i].size();
+  }
+}
+
+}  // namespace
+}  // namespace trail::testing

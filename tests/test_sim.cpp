@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace trail::sim {
+namespace {
+
+TEST(Time, DurationArithmetic) {
+  EXPECT_EQ((millis(3) + micros(500)).ns(), 3'500'000);
+  EXPECT_EQ((millis(3) - micros(500)).ns(), 2'500'000);
+  EXPECT_EQ((millis(2) * 4).ns(), millis(8).ns());
+  EXPECT_EQ((millis(8) / 4).ns(), millis(2).ns());
+  EXPECT_EQ(millis(7) % millis(2), millis(1));
+  EXPECT_EQ(millis(7) / millis(2), 3);
+  EXPECT_LT(millis(1), millis(2));
+  EXPECT_DOUBLE_EQ(millis(1).ms(), 1.0);
+  EXPECT_DOUBLE_EQ(seconds(2).sec(), 2.0);
+}
+
+TEST(Time, TimePointArithmetic) {
+  const TimePoint t{1'000'000};
+  EXPECT_EQ((t + millis(1)).ns(), 2'000'000);
+  EXPECT_EQ((t - micros(500)).ns(), 500'000);
+  EXPECT_EQ(TimePoint{5'000} - TimePoint{2'000}, Duration{3'000});
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(to_string(millis_f(1.5)), "1.500 ms");
+  EXPECT_EQ(to_string(micros(12)), "12.000 us");
+  EXPECT_EQ(to_string(nanos(999)), "999 ns");
+  EXPECT_EQ(to_string(seconds(3)), "3.000 s");
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(millis(3), [&] { order.push_back(3); });
+  sim.schedule(millis(1), [&] { order.push_back(1); });
+  sim.schedule(millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{millis(3).ns()});
+}
+
+TEST(Simulator, TieBreaksByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(millis(1), [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(millis(1), [&] {
+    ++fired;
+    sim.schedule(millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns(), millis(2).ns());
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports failure
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(millis(1), [&] { ++fired; });
+  sim.schedule(millis(5), [&] { ++fired; });
+  sim.run_until(TimePoint{millis(2).ns()});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), millis(2).ns());  // clock advanced to the deadline
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(millis(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().ns(), 0);
+}
+
+TEST(Simulator, EventLimitThrows) {
+  Simulator sim;
+  sim.set_event_limit(10);
+  std::function<void()> loop = [&] { sim.schedule(millis(1), loop); };
+  sim.schedule(millis(1), loop);
+  EXPECT_THROW(sim.run(), SimulationOverrun);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, UniformCoversRangeRoughlyEvenly) {
+  Rng rng(123);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform(0, 9))];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 * 0.9);
+    EXPECT_LT(c, n / 10 * 1.1);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights{1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  // The split stream should not replay the parent stream.
+  Rng a2(42);
+  (void)a2.next();
+  EXPECT_NE(b.next(), a2.next());
+}
+
+TEST(Rng, NurandStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = nurand(rng, 255, 1, 3000, 123);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, ThrowsOnEmpty) {
+  Summary s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Summary, AddDurationUsesMilliseconds) {
+  Summary s;
+  s.add(millis(2));
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace trail::sim
