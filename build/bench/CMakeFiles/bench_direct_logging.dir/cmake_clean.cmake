@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_logging.dir/bench_direct_logging.cpp.o"
+  "CMakeFiles/bench_direct_logging.dir/bench_direct_logging.cpp.o.d"
+  "bench_direct_logging"
+  "bench_direct_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

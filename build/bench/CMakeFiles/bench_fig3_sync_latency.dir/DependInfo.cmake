@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_sync_latency.cpp" "bench/CMakeFiles/bench_fig3_sync_latency.dir/bench_fig3_sync_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_sync_latency.dir/bench_fig3_sync_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcc/CMakeFiles/trail_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/trail_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/trail_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/trail_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/trail_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trail_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_curve.dir/bench_load_curve.cpp.o"
+  "CMakeFiles/bench_load_curve.dir/bench_load_curve.cpp.o.d"
+  "bench_load_curve"
+  "bench_load_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilog.dir/bench_multilog.cpp.o"
+  "CMakeFiles/bench_multilog.dir/bench_multilog.cpp.o.d"
+  "bench_multilog"
+  "bench_multilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_batching.dir/bench_tab1_batching.cpp.o"
+  "CMakeFiles/bench_tab1_batching.dir/bench_tab1_batching.cpp.o.d"
+  "bench_tab1_batching"
+  "bench_tab1_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

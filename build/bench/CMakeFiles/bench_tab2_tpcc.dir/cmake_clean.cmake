@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_tpcc.dir/bench_tab2_tpcc.cpp.o"
+  "CMakeFiles/bench_tab2_tpcc.dir/bench_tab2_tpcc.cpp.o.d"
+  "bench_tab2_tpcc"
+  "bench_tab2_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

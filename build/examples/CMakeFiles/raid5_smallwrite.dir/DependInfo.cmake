@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/raid5_smallwrite.cpp" "examples/CMakeFiles/raid5_smallwrite.dir/raid5_smallwrite.cpp.o" "gcc" "examples/CMakeFiles/raid5_smallwrite.dir/raid5_smallwrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcc/CMakeFiles/trail_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/trail_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/trail_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/trail_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/trail_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trail_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid5_smallwrite.dir/raid5_smallwrite.cpp.o"
+  "CMakeFiles/raid5_smallwrite.dir/raid5_smallwrite.cpp.o.d"
+  "raid5_smallwrite"
+  "raid5_smallwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid5_smallwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for raid5_smallwrite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries.dir/timeseries.cpp.o"
+  "CMakeFiles/timeseries.dir/timeseries.cpp.o.d"
+  "timeseries"
+  "timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

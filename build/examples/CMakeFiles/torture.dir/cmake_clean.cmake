@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torture.dir/torture.cpp.o"
+  "CMakeFiles/torture.dir/torture.cpp.o.d"
+  "torture"
+  "torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_manager.cpp" "src/core/CMakeFiles/trail_core.dir/buffer_manager.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/buffer_manager.cpp.o.d"
+  "/root/repo/src/core/crc32.cpp" "src/core/CMakeFiles/trail_core.dir/crc32.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/crc32.cpp.o.d"
+  "/root/repo/src/core/delta_calibrator.cpp" "src/core/CMakeFiles/trail_core.dir/delta_calibrator.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/delta_calibrator.cpp.o.d"
+  "/root/repo/src/core/format_tool.cpp" "src/core/CMakeFiles/trail_core.dir/format_tool.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/format_tool.cpp.o.d"
+  "/root/repo/src/core/head_predictor.cpp" "src/core/CMakeFiles/trail_core.dir/head_predictor.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/head_predictor.cpp.o.d"
+  "/root/repo/src/core/log_format.cpp" "src/core/CMakeFiles/trail_core.dir/log_format.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/log_format.cpp.o.d"
+  "/root/repo/src/core/log_scanner.cpp" "src/core/CMakeFiles/trail_core.dir/log_scanner.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/log_scanner.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/core/CMakeFiles/trail_core.dir/recovery.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/core/track_allocator.cpp" "src/core/CMakeFiles/trail_core.dir/track_allocator.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/track_allocator.cpp.o.d"
+  "/root/repo/src/core/trail_driver.cpp" "src/core/CMakeFiles/trail_core.dir/trail_driver.cpp.o" "gcc" "src/core/CMakeFiles/trail_core.dir/trail_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/trail_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/trail_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trail_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

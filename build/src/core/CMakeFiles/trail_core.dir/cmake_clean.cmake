@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_core.dir/buffer_manager.cpp.o"
+  "CMakeFiles/trail_core.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/trail_core.dir/crc32.cpp.o"
+  "CMakeFiles/trail_core.dir/crc32.cpp.o.d"
+  "CMakeFiles/trail_core.dir/delta_calibrator.cpp.o"
+  "CMakeFiles/trail_core.dir/delta_calibrator.cpp.o.d"
+  "CMakeFiles/trail_core.dir/format_tool.cpp.o"
+  "CMakeFiles/trail_core.dir/format_tool.cpp.o.d"
+  "CMakeFiles/trail_core.dir/head_predictor.cpp.o"
+  "CMakeFiles/trail_core.dir/head_predictor.cpp.o.d"
+  "CMakeFiles/trail_core.dir/log_format.cpp.o"
+  "CMakeFiles/trail_core.dir/log_format.cpp.o.d"
+  "CMakeFiles/trail_core.dir/log_scanner.cpp.o"
+  "CMakeFiles/trail_core.dir/log_scanner.cpp.o.d"
+  "CMakeFiles/trail_core.dir/recovery.cpp.o"
+  "CMakeFiles/trail_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/trail_core.dir/track_allocator.cpp.o"
+  "CMakeFiles/trail_core.dir/track_allocator.cpp.o.d"
+  "CMakeFiles/trail_core.dir/trail_driver.cpp.o"
+  "CMakeFiles/trail_core.dir/trail_driver.cpp.o.d"
+  "libtrail_core.a"
+  "libtrail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cpp" "src/db/CMakeFiles/trail_db.dir/btree.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/btree.cpp.o.d"
+  "/root/repo/src/db/buffer_pool.cpp" "src/db/CMakeFiles/trail_db.dir/buffer_pool.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/trail_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/lock_manager.cpp" "src/db/CMakeFiles/trail_db.dir/lock_manager.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/db/page_file.cpp" "src/db/CMakeFiles/trail_db.dir/page_file.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/page_file.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/trail_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/wal.cpp" "src/db/CMakeFiles/trail_db.dir/wal.cpp.o" "gcc" "src/db/CMakeFiles/trail_db.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/trail_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/trail_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/trail_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trail_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

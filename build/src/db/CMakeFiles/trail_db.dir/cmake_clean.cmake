@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_db.dir/btree.cpp.o"
+  "CMakeFiles/trail_db.dir/btree.cpp.o.d"
+  "CMakeFiles/trail_db.dir/buffer_pool.cpp.o"
+  "CMakeFiles/trail_db.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/trail_db.dir/database.cpp.o"
+  "CMakeFiles/trail_db.dir/database.cpp.o.d"
+  "CMakeFiles/trail_db.dir/lock_manager.cpp.o"
+  "CMakeFiles/trail_db.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/trail_db.dir/page_file.cpp.o"
+  "CMakeFiles/trail_db.dir/page_file.cpp.o.d"
+  "CMakeFiles/trail_db.dir/table.cpp.o"
+  "CMakeFiles/trail_db.dir/table.cpp.o.d"
+  "CMakeFiles/trail_db.dir/wal.cpp.o"
+  "CMakeFiles/trail_db.dir/wal.cpp.o.d"
+  "libtrail_db.a"
+  "libtrail_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

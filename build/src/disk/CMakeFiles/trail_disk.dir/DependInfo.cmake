@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_device.cpp" "src/disk/CMakeFiles/trail_disk.dir/disk_device.cpp.o" "gcc" "src/disk/CMakeFiles/trail_disk.dir/disk_device.cpp.o.d"
+  "/root/repo/src/disk/geometry.cpp" "src/disk/CMakeFiles/trail_disk.dir/geometry.cpp.o" "gcc" "src/disk/CMakeFiles/trail_disk.dir/geometry.cpp.o.d"
+  "/root/repo/src/disk/profile.cpp" "src/disk/CMakeFiles/trail_disk.dir/profile.cpp.o" "gcc" "src/disk/CMakeFiles/trail_disk.dir/profile.cpp.o.d"
+  "/root/repo/src/disk/sector_store.cpp" "src/disk/CMakeFiles/trail_disk.dir/sector_store.cpp.o" "gcc" "src/disk/CMakeFiles/trail_disk.dir/sector_store.cpp.o.d"
+  "/root/repo/src/disk/seek_model.cpp" "src/disk/CMakeFiles/trail_disk.dir/seek_model.cpp.o" "gcc" "src/disk/CMakeFiles/trail_disk.dir/seek_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/trail_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

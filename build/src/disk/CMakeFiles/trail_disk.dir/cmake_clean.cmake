@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_disk.dir/disk_device.cpp.o"
+  "CMakeFiles/trail_disk.dir/disk_device.cpp.o.d"
+  "CMakeFiles/trail_disk.dir/geometry.cpp.o"
+  "CMakeFiles/trail_disk.dir/geometry.cpp.o.d"
+  "CMakeFiles/trail_disk.dir/profile.cpp.o"
+  "CMakeFiles/trail_disk.dir/profile.cpp.o.d"
+  "CMakeFiles/trail_disk.dir/sector_store.cpp.o"
+  "CMakeFiles/trail_disk.dir/sector_store.cpp.o.d"
+  "CMakeFiles/trail_disk.dir/seek_model.cpp.o"
+  "CMakeFiles/trail_disk.dir/seek_model.cpp.o.d"
+  "libtrail_disk.a"
+  "libtrail_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

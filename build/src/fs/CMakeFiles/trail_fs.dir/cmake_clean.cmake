@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_fs.dir/filesystem.cpp.o"
+  "CMakeFiles/trail_fs.dir/filesystem.cpp.o.d"
+  "libtrail_fs.a"
+  "libtrail_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

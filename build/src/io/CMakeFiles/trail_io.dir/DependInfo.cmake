@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/device_queue.cpp" "src/io/CMakeFiles/trail_io.dir/device_queue.cpp.o" "gcc" "src/io/CMakeFiles/trail_io.dir/device_queue.cpp.o.d"
+  "/root/repo/src/io/scheduler.cpp" "src/io/CMakeFiles/trail_io.dir/scheduler.cpp.o" "gcc" "src/io/CMakeFiles/trail_io.dir/scheduler.cpp.o.d"
+  "/root/repo/src/io/standard_driver.cpp" "src/io/CMakeFiles/trail_io.dir/standard_driver.cpp.o" "gcc" "src/io/CMakeFiles/trail_io.dir/standard_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/trail_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trail_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_io.dir/device_queue.cpp.o"
+  "CMakeFiles/trail_io.dir/device_queue.cpp.o.d"
+  "CMakeFiles/trail_io.dir/scheduler.cpp.o"
+  "CMakeFiles/trail_io.dir/scheduler.cpp.o.d"
+  "CMakeFiles/trail_io.dir/standard_driver.cpp.o"
+  "CMakeFiles/trail_io.dir/standard_driver.cpp.o.d"
+  "libtrail_io.a"
+  "libtrail_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

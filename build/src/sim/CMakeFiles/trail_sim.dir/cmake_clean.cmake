@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_sim.dir/random.cpp.o"
+  "CMakeFiles/trail_sim.dir/random.cpp.o.d"
+  "CMakeFiles/trail_sim.dir/simulator.cpp.o"
+  "CMakeFiles/trail_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/trail_sim.dir/stats.cpp.o"
+  "CMakeFiles/trail_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/trail_sim.dir/time.cpp.o"
+  "CMakeFiles/trail_sim.dir/time.cpp.o.d"
+  "libtrail_sim.a"
+  "libtrail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_tpcc.dir/driver.cpp.o"
+  "CMakeFiles/trail_tpcc.dir/driver.cpp.o.d"
+  "CMakeFiles/trail_tpcc.dir/transactions.cpp.o"
+  "CMakeFiles/trail_tpcc.dir/transactions.cpp.o.d"
+  "CMakeFiles/trail_tpcc.dir/workload.cpp.o"
+  "CMakeFiles/trail_tpcc.dir/workload.cpp.o.d"
+  "libtrail_tpcc.a"
+  "libtrail_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

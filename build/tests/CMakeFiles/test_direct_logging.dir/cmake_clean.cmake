@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_logging.dir/test_direct_logging.cpp.o"
+  "CMakeFiles/test_direct_logging.dir/test_direct_logging.cpp.o.d"
+  "test_direct_logging"
+  "test_direct_logging.pdb"
+  "test_direct_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

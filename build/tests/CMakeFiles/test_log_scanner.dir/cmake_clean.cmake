@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_scanner.dir/test_log_scanner.cpp.o"
+  "CMakeFiles/test_log_scanner.dir/test_log_scanner.cpp.o.d"
+  "test_log_scanner"
+  "test_log_scanner.pdb"
+  "test_log_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

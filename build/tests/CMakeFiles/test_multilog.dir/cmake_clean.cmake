@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilog.dir/test_multilog.cpp.o"
+  "CMakeFiles/test_multilog.dir/test_multilog.cpp.o.d"
+  "test_multilog"
+  "test_multilog.pdb"
+  "test_multilog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

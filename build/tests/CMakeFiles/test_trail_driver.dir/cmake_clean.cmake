@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trail_driver.dir/test_trail_driver.cpp.o"
+  "CMakeFiles/test_trail_driver.dir/test_trail_driver.cpp.o.d"
+  "test_trail_driver"
+  "test_trail_driver.pdb"
+  "test_trail_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trail_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_disk_device[1]_include.cmake")
+include("/root/repo/build/tests/test_log_format[1]_include.cmake")
+include("/root/repo/build/tests/test_head_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_track_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_trail_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_tpcc[1]_include.cmake")
+include("/root/repo/build/tests/test_multilog[1]_include.cmake")
+include("/root/repo/build/tests/test_direct_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_log_scanner[1]_include.cmake")
+include("/root/repo/build/tests/test_property_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_fs[1]_include.cmake")
+include("/root/repo/build/tests/test_btree[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer_pool[1]_include.cmake")
