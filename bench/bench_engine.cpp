@@ -1,0 +1,223 @@
+// Wall-clock microbenchmarks (google-benchmark) for the simulation & I/O
+// engine hot paths: event scheduling/cancellation in sim::Simulator, raw
+// sector throughput in disk::SectorStore, and range bookkeeping in
+// core::BufferManager. These paths dominate harness overhead in every
+// paper-reproduction bench, so their trajectory is recorded in
+// BENCH_engine.json (see scripts/run_benches.sh) from PR 2 onward.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/buffer_manager.hpp"
+#include "disk/sector_store.hpp"
+#include "io/block.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace trail;
+
+// --------------------------------------------------------------------------
+// Event engine
+// --------------------------------------------------------------------------
+
+// Schedule-then-drain: the basic dispatch loop with no cancellations.
+void BM_EventScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    state.ResumeTiming();
+    std::uint64_t fired = 0;
+    for (int i = 0; i < events; ++i)
+      simulator.schedule(sim::micros(i % 97), [&fired] { ++fired; });
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventScheduleRun)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+// The driver's timeout pattern: every op schedules a guard event that is
+// cancelled when the op completes, so half of all scheduled events are
+// cancelled before they fire. This is the path the lazily-scanned
+// cancellation list made quadratic.
+void BM_EventCancelHeavy(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    std::vector<sim::EventId> guards;
+    guards.reserve(static_cast<std::size_t>(events));
+    state.ResumeTiming();
+    std::uint64_t fired = 0;
+    for (int i = 0; i < events; ++i) {
+      simulator.schedule(sim::micros(i), [&fired] { ++fired; });
+      guards.push_back(
+          simulator.schedule(sim::micros(i) + sim::millis(100), [&fired] { fired += 1000; }));
+    }
+    for (const sim::EventId id : guards) simulator.cancel(id);
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events * 2);
+}
+BENCHMARK(BM_EventCancelHeavy)->Arg(2'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+// Interleaved schedule/cancel/dispatch churn: a rolling window of pending
+// events, as produced by a device queue with per-command completions.
+void BM_EventChurn(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    state.ResumeTiming();
+    std::uint64_t fired = 0;
+    sim::EventId last_guard;
+    for (int i = 0; i < ops; ++i) {
+      simulator.schedule(sim::micros(5), [&fired] { ++fired; });
+      if (last_guard.valid()) simulator.cancel(last_guard);
+      last_guard = simulator.schedule(sim::millis(50), [&fired] { fired += 1000; });
+      simulator.step();
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_EventChurn)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// Sector store
+// --------------------------------------------------------------------------
+
+// Small enough that the working set is not purely DRAM-bandwidth-bound
+// (which would mask bookkeeping overhead), large enough to exceed L2.
+constexpr disk::Lba kStoreSectors = 1 << 15;  // 16 MB disk
+
+void BM_SectorStoreSeqWrite(benchmark::State& state) {
+  const auto run = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> data(static_cast<std::size_t>(run) * disk::kSectorSize,
+                              std::byte{0x5A});
+  disk::SectorStore store(kStoreSectors);
+  disk::Lba lba = 0;
+  for (auto _ : state) {
+    store.write(lba, run, data);
+    lba += run;
+    if (lba + run > kStoreSectors) lba = 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * run *
+                          static_cast<std::int64_t>(disk::kSectorSize));
+}
+BENCHMARK(BM_SectorStoreSeqWrite)->Arg(1)->Arg(8)->Arg(128);
+
+void BM_SectorStoreSeqRead(benchmark::State& state) {
+  const auto run = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> buf(static_cast<std::size_t>(run) * disk::kSectorSize);
+  disk::SectorStore store(kStoreSectors);
+  // Half the disk written so reads mix hit and zero-fill paths.
+  std::vector<std::byte> data(64 * disk::kSectorSize, std::byte{0x77});
+  for (disk::Lba l = 0; l + 64 <= kStoreSectors / 2; l += 64) store.write(l, 64, data);
+  disk::Lba lba = 0;
+  for (auto _ : state) {
+    store.read(lba, run, buf);
+    benchmark::DoNotOptimize(buf.data());
+    lba += run;
+    if (lba + run > kStoreSectors) lba = 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * run *
+                          static_cast<std::int64_t>(disk::kSectorSize));
+}
+BENCHMARK(BM_SectorStoreSeqRead)->Arg(8)->Arg(128);
+
+void BM_SectorStoreRandomWrite(benchmark::State& state) {
+  const auto run = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> data(static_cast<std::size_t>(run) * disk::kSectorSize,
+                              std::byte{0xA5});
+  disk::SectorStore store(kStoreSectors);
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    const auto lba = static_cast<disk::Lba>(
+        rng.uniform(0, static_cast<std::int64_t>(kStoreSectors - run - 1)));
+    store.write(lba, run, data);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * run *
+                          static_cast<std::int64_t>(disk::kSectorSize));
+}
+BENCHMARK(BM_SectorStoreRandomWrite)->Arg(8);
+
+// The recovery scanner's probe loop: single-sector is_written tests.
+void BM_SectorStoreIsWritten(benchmark::State& state) {
+  disk::SectorStore store(kStoreSectors);
+  std::vector<std::byte> data(disk::kSectorSize, std::byte{0x11});
+  for (disk::Lba l = 0; l < kStoreSectors; l += 2) store.write(l, 1, data);
+  disk::Lba lba = 0;
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    hits += store.is_written(lba) ? 1 : 0;
+    lba = (lba + 1) % kStoreSectors;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SectorStoreIsWritten);
+
+// --------------------------------------------------------------------------
+// Buffer manager
+// --------------------------------------------------------------------------
+
+// One logged-write lifecycle: register -> cover-pin -> snapshot at
+// write-back dispatch -> mark durable -> unpin (sectors released).
+void BM_BufferManagerCycle(benchmark::State& state) {
+  const auto run = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t released = 0;
+  core::BufferManager buffers([&released](core::RecordId) { ++released; });
+  const io::DeviceId dev{0, 0};
+  std::vector<std::byte> data(static_cast<std::size_t>(run) * disk::kSectorSize,
+                              std::byte{0x3C});
+  core::RecordId record = 1;
+  disk::Lba lba = 0;
+  for (auto _ : state) {
+    buffers.register_write(record, dev, lba, data);
+    buffers.pin_range(dev, lba, run);
+    core::BufferManager::Image img = buffers.snapshot(dev, lba, run);
+    buffers.mark_durable(dev, lba, img.versions);
+    buffers.unpin_range(dev, lba, run);
+    benchmark::DoNotOptimize(img.data.data());
+    ++record;
+    lba = (lba + run) % (1 << 16);
+  }
+  if (released != static_cast<std::uint64_t>(state.iterations()))
+    state.SkipWithError("record lifecycle broken");
+  state.SetItemsProcessed(state.iterations() * run);
+}
+BENCHMARK(BM_BufferManagerCycle)->Arg(2)->Arg(8)->Arg(32);
+
+// Read-path overlay probing against a populated manager.
+void BM_BufferManagerOverlay(benchmark::State& state) {
+  std::uint64_t released = 0;
+  core::BufferManager buffers([&released](core::RecordId) { ++released; });
+  const io::DeviceId dev{0, 0};
+  constexpr std::uint32_t kRun = 8;
+  std::vector<std::byte> data(kRun * disk::kSectorSize, std::byte{0x3C});
+  for (std::uint32_t i = 0; i < 1024; ++i)
+    buffers.register_write(i + 1, dev, static_cast<disk::Lba>(i) * kRun * 2, data);
+  std::vector<std::byte> buf(kRun * disk::kSectorSize);
+  disk::Lba lba = 0;
+  for (auto _ : state) {
+    const bool hit = buffers.covers(dev, lba, kRun);
+    if (hit) buffers.overlay(dev, lba, kRun, buf);
+    benchmark::DoNotOptimize(hit);
+    lba = (lba + kRun) % (1024 * kRun * 2);
+  }
+  state.SetItemsProcessed(state.iterations() * kRun);
+}
+BENCHMARK(BM_BufferManagerOverlay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

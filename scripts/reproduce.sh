@@ -18,4 +18,8 @@ for b in build/bench/*; do
   echo "== $name =="
   "$b" | tee "results/$name.txt"
 done
-echo "done: see results/ and EXPERIMENTS.md"
+
+# Wall-clock engine trajectory (Release build, machine-readable JSON).
+scripts/run_benches.sh
+
+echo "done: see results/, BENCH_*.json and EXPERIMENTS.md"

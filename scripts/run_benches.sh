@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Engine/microbenchmark trajectory: build the google-benchmark binaries in
+# Release mode and emit machine-readable results as BENCH_engine.json and
+# BENCH_micro.json at the repo root. These files are committed so the perf
+# trajectory of the simulation & I/O core is reviewable PR-over-PR.
+#
+# Env knobs:
+#   BENCH_BUILD_DIR  build directory (default build-release)
+#   BENCH_REPS       repetitions per benchmark (default 3; medians land in
+#                    the *_median aggregate entries)
+#   BENCH_SMOKE=1    one tiny iteration per benchmark — CI smoke, output
+#                    goes to /dev/null instead of the committed JSONs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BENCH_BUILD_DIR:-build-release}"
+REPS="${BENCH_REPS:-3}"
+
+cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_engine bench_micro
+
+run_bench() {
+  local bin="$1" out="$2"
+  if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
+    "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01 \
+      --benchmark_out=/dev/null --benchmark_out_format=json
+  else
+    "$BUILD_DIR/bench/$bin" \
+      --benchmark_repetitions="$REPS" \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_out="$out" --benchmark_out_format=json
+  fi
+}
+
+run_bench bench_engine BENCH_engine.json
+run_bench bench_micro BENCH_micro.json
+
+if [[ "${BENCH_SMOKE:-0}" != "1" ]]; then
+  echo "wrote BENCH_engine.json and BENCH_micro.json"
+fi

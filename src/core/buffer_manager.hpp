@@ -21,8 +21,14 @@
 // buffer changed since logging) appears here as record_settled(): a
 // queued write-back whose record was already satisfied by a newer
 // dispatch is skipped at dispatch time.
+//
+// Hot-path layout: sectors are stored in 16-sector groups keyed by
+// (device, lba / 16), so the contiguous ranges every driver operation
+// works on cost one hash probe per group run instead of one per sector.
+// A liveness bitmask distinguishes resident sectors inside a group.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -86,40 +92,74 @@ class BufferManager {
   void pin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t count);
   void unpin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t count);
 
-  [[nodiscard]] std::size_t pinned_sectors() const { return sectors_.size(); }
-  [[nodiscard]] std::size_t pinned_bytes() const { return sectors_.size() * disk::kSectorSize; }
+  [[nodiscard]] std::size_t pinned_sectors() const { return resident_sectors_; }
+  [[nodiscard]] std::size_t pinned_bytes() const { return resident_sectors_ * disk::kSectorSize; }
   [[nodiscard]] std::size_t pinned_bytes_high_water() const { return high_water_; }
   [[nodiscard]] std::size_t pending_records() const { return pending_.size(); }
 
  private:
+  /// Sectors per group (8 KB — one DB page spans exactly one or two groups).
+  static constexpr std::uint32_t kGroupSectors = 16;
+
   struct Key {
     std::uint32_t dev;
-    disk::Lba lba;
+    disk::Lba group;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>{}(k.lba * 0x9E3779B97F4A7C15ULL ^ k.dev);
+      // splitmix64 finalizer: full-avalanche mixing so group indices that
+      // differ only in low bits spread across buckets.
+      std::uint64_t x = k.group ^ (std::uint64_t{k.dev} << 56);
+      x += 0x9E3779B97F4A7C15ULL;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
     }
   };
   struct Waiter {
     RecordId record;
     std::uint64_t version;
   };
-  struct SectorState {
-    disk::SectorBuf data;
-    std::uint64_t version = 0;          // of `data`
+  struct SlotMeta {
+    std::uint64_t version = 0;          // of the slot's payload
     std::uint64_t durable_version = 0;  // newest version on the data disk
     std::uint32_t cover_pins = 0;       // queued write-backs referencing it
     std::vector<Waiter> waiters;
   };
+  struct Group {
+    std::uint32_t live_mask = 0;  // bit i: slot i holds a resident sector
+    std::array<SlotMeta, kGroupSectors> meta;
+    // Payload kept contiguous (sector i at i*512) so register/overlay/
+    // snapshot move whole runs with single memcpys.
+    std::array<std::byte, static_cast<std::size_t>(kGroupSectors) * disk::kSectorSize> data;
+  };
+  using GroupMap = std::unordered_map<Key, Group, KeyHash>;
 
-  void maybe_release(const Key& key);
+  [[nodiscard]] static bool slot_live(const Group& g, std::uint32_t idx) {
+    return (g.live_mask >> idx) & 1;
+  }
+  /// Clear a released slot and drop it from the group; returns true if the
+  /// group is now empty (caller retires it — iterators stay valid until then).
+  bool release_slot(Group& group, std::uint32_t idx);
+  /// Release the slot if nothing pins or awaits it; returns true if the
+  /// group became empty.
+  bool maybe_release(Group& group, std::uint32_t idx);
+
+  /// Find-or-create, reusing a spare node so the steady-state log/write-back
+  /// cycle does not malloc/free an ~9 KB group per request.
+  Group& group_for(const Key& key);
+  /// Remove an emptied group, keeping its allocation for reuse.
+  void retire_group(GroupMap::iterator it);
+
+  static constexpr std::size_t kMaxSpareGroups = 32;
 
   RecordDurableFn on_record_durable_;
-  std::unordered_map<Key, SectorState, KeyHash> sectors_;
+  GroupMap groups_;
+  std::vector<GroupMap::node_type> spare_groups_;
   std::unordered_map<RecordId, std::uint32_t> pending_;  // record -> sectors left
   std::uint64_t next_version_ = 1;
+  std::size_t resident_sectors_ = 0;
   std::size_t high_water_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "disk/sector_store.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -14,13 +16,21 @@ void SectorStore::read(Lba lba, std::uint32_t count, std::span<std::byte> out) c
   check_range(lba, count);
   if (out.size() < static_cast<std::size_t>(count) * kSectorSize)
     throw std::invalid_argument("SectorStore::read: output buffer too small");
-  for (std::uint32_t i = 0; i < count; ++i) {
-    auto it = sectors_.find(lba + i);
-    std::byte* dst = out.data() + static_cast<std::size_t>(i) * kSectorSize;
-    if (it == sectors_.end())
-      std::memset(dst, 0, kSectorSize);
+  std::byte* dst = out.data();
+  std::uint32_t left = count;
+  Lba cur = lba;
+  while (left > 0) {
+    const std::uint32_t off = static_cast<std::uint32_t>(cur % kChunkSectors);
+    const std::uint32_t run = std::min(left, kChunkSectors - off);
+    const std::size_t bytes = static_cast<std::size_t>(run) * kSectorSize;
+    const Chunk* chunk = find_chunk(cur / kChunkSectors);
+    if (chunk == nullptr)
+      std::memset(dst, 0, bytes);
     else
-      std::memcpy(dst, it->second.data(), kSectorSize);
+      std::memcpy(dst, chunk->data.data() + static_cast<std::size_t>(off) * kSectorSize, bytes);
+    dst += bytes;
+    cur += run;
+    left -= run;
   }
 }
 
@@ -28,9 +38,29 @@ void SectorStore::write(Lba lba, std::uint32_t count, std::span<const std::byte>
   check_range(lba, count);
   if (data.size() < static_cast<std::size_t>(count) * kSectorSize)
     throw std::invalid_argument("SectorStore::write: input buffer too small");
-  for (std::uint32_t i = 0; i < count; ++i) {
-    SectorBuf& buf = sectors_[lba + i];
-    std::memcpy(buf.data(), data.data() + static_cast<std::size_t>(i) * kSectorSize, kSectorSize);
+  const std::byte* src = data.data();
+  std::uint32_t left = count;
+  Lba cur = lba;
+  while (left > 0) {
+    const std::uint32_t off = static_cast<std::uint32_t>(cur % kChunkSectors);
+    const std::uint32_t run = std::min(left, kChunkSectors - off);
+    const std::size_t bytes = static_cast<std::size_t>(run) * kSectorSize;
+    Chunk& chunk = get_or_create_chunk(cur / kChunkSectors);
+    std::memcpy(chunk.data.data() + static_cast<std::size_t>(off) * kSectorSize, src, bytes);
+    // Mark [off, off+run) written, counting only newly-set bits.
+    for (std::uint32_t bit = off; bit < off + run;) {
+      const std::uint32_t word = bit / 64;
+      const std::uint32_t lo = bit % 64;
+      const std::uint32_t span = std::min(off + run - bit, 64 - lo);
+      const std::uint64_t mask =
+          (span == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << span) - 1)) << lo;
+      written_count_ += static_cast<std::size_t>(std::popcount(mask & ~chunk.written[word]));
+      chunk.written[word] |= mask;
+      bit += span;
+    }
+    src += bytes;
+    cur += run;
+    left -= run;
   }
 }
 

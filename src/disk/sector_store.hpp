@@ -3,9 +3,18 @@
 // Bytes written here survive a simulated crash (DiskDevice::crash_halt
 // discards queued commands and driver state, never the store). Unwritten
 // sectors read back as zeroes, like a freshly formatted drive.
+//
+// Storage is organised as lazily-allocated 256-sector extents (chunks):
+// a multi-sector access touches one hash probe plus one bulk memcpy per
+// chunk run instead of one probe and one 512-byte copy per sector. A
+// per-chunk bitmap keeps is_written()/written_sector_count() exact at
+// sector granularity, and a one-entry chunk cache makes the sequential
+// single-sector probes of the recovery scanner near-free.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 
@@ -15,6 +24,9 @@ namespace trail::disk {
 
 class SectorStore {
  public:
+  /// Sectors per lazily-allocated extent (128 KB of payload).
+  static constexpr std::uint32_t kChunkSectors = 256;
+
   explicit SectorStore(Lba total_sectors) : total_sectors_(total_sectors) {}
 
   [[nodiscard]] Lba total_sectors() const { return total_sectors_; }
@@ -26,19 +38,65 @@ class SectorStore {
   void write(Lba lba, std::uint32_t count, std::span<const std::byte> data);
 
   /// True if the sector has ever been written.
-  [[nodiscard]] bool is_written(Lba lba) const { return sectors_.contains(lba); }
+  [[nodiscard]] bool is_written(Lba lba) const {
+    if (lba >= total_sectors_) return false;
+    const Chunk* chunk = find_chunk(lba / kChunkSectors);
+    if (chunk == nullptr) return false;
+    const std::uint32_t off = static_cast<std::uint32_t>(lba % kChunkSectors);
+    return (chunk->written[off / 64] >> (off % 64)) & 1;
+  }
 
   /// Number of distinct sectors ever written (storage footprint metric).
-  [[nodiscard]] std::size_t written_sector_count() const { return sectors_.size(); }
+  [[nodiscard]] std::size_t written_sector_count() const { return written_count_; }
 
-  /// Reset every sector back to zeroes (reformat).
-  void wipe() { sectors_.clear(); }
+  /// Bytes of backing memory currently allocated for chunk payloads
+  /// (observability: wipe() must return this to zero).
+  [[nodiscard]] std::size_t allocated_bytes() const { return chunks_.size() * sizeof(Chunk); }
+
+  /// Reset every sector back to zeroes (reformat); reclaims all chunks.
+  void wipe() {
+    chunks_.clear();
+    written_count_ = 0;
+    cached_index_ = kNoChunk;
+    cached_chunk_ = nullptr;
+  }
 
  private:
+  struct Chunk {
+    // Value-initialised: a fresh chunk reads back as zeroes, so unwritten
+    // sectors inside a written chunk need no per-sector handling on read.
+    std::array<std::byte, static_cast<std::size_t>(kChunkSectors) * kSectorSize> data{};
+    std::array<std::uint64_t, kChunkSectors / 64> written{};
+  };
+
+  static constexpr std::uint64_t kNoChunk = ~std::uint64_t{0};
+
   void check_range(Lba lba, std::uint32_t count) const;
 
+  /// Cached lookup. unordered_map nodes are pointer-stable, so the cache
+  /// survives inserts; wipe() is the only invalidation point.
+  const Chunk* find_chunk(std::uint64_t index) const {
+    if (index == cached_index_) return cached_chunk_;
+    auto it = chunks_.find(index);
+    if (it == chunks_.end()) return nullptr;
+    cached_index_ = index;
+    cached_chunk_ = &it->second;
+    return cached_chunk_;
+  }
+
+  Chunk& get_or_create_chunk(std::uint64_t index) {
+    if (index == cached_index_) return *const_cast<Chunk*>(cached_chunk_);
+    Chunk& chunk = chunks_[index];
+    cached_index_ = index;
+    cached_chunk_ = &chunk;
+    return chunk;
+  }
+
   Lba total_sectors_;
-  std::unordered_map<Lba, SectorBuf> sectors_;
+  std::unordered_map<std::uint64_t, Chunk> chunks_;
+  std::size_t written_count_ = 0;
+  mutable std::uint64_t cached_index_ = kNoChunk;
+  mutable const Chunk* cached_chunk_ = nullptr;
 };
 
 }  // namespace trail::disk

@@ -1,0 +1,114 @@
+// Move-only `void()` callable with inline storage for small captures.
+//
+// The simulator schedules millions of short-lived callbacks per run, and
+// nearly all of them capture only a handful of pointers (a driver `this`,
+// an alive-flag shared_ptr, a couple of ints). std::function's inline
+// buffer is 16 bytes on libstdc++, so most of those captures spill to the
+// heap — one malloc/free pair per simulated event. Callback keeps captures
+// up to kInlineBytes in place and only heap-allocates beyond that.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace trail::sim {
+
+namespace detail {
+
+struct CallbackOps {
+  void (*invoke)(void* self);
+  // Move-construct into dst from src, then destroy src.
+  void (*relocate)(void* dst, void* src);
+  void (*destroy)(void* self);
+};
+
+template <typename Fn>
+inline constexpr CallbackOps kInlineCallbackOps{
+    [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+    [](void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    },
+    [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+};
+
+template <typename Fn>
+inline constexpr CallbackOps kHeapCallbackOps{
+    [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+    [](void* dst, void* src) {
+      ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+    },
+    [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+};
+
+}  // namespace detail
+
+class Callback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &detail::kInlineCallbackOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &detail::kHeapCallbackOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  Callback& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~Callback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const detail::CallbackOps* ops_ = nullptr;
+};
+
+}  // namespace trail::sim

@@ -1,7 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 namespace trail::sim {
 
 EventId Simulator::schedule(Duration delay, Callback fn) {
@@ -11,37 +9,60 @@ EventId Simulator::schedule(Duration delay, Callback fn) {
 
 EventId Simulator::schedule_at(TimePoint when, Callback fn) {
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, std::move(fn)});
-  return EventId{seq};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  const std::uint64_t gen = ++s.gen;
+  queue_.push(Event{when, next_seq_++, slot});
+  return EventId{slot, gen};
 }
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid() || id.seq_ >= next_seq_) return false;
-  // Lazy cancellation: remember the sequence number; the dispatch loop
-  // discards the event when it surfaces.
-  if (std::find(cancelled_.begin(), cancelled_.end(), id.seq_) != cancelled_.end()) return false;
-  cancelled_.push_back(id.seq_);
+  if (!id.valid() || id.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[id.slot_];
+  // A stale generation means the event already fired (the slot was reused
+  // or retired); a disarmed current generation means it was already
+  // cancelled. Both report failure without touching anything.
+  if (s.gen != id.gen_ || !s.armed) return false;
+  s.armed = false;
+  s.fn = nullptr;  // release captures promptly; the queue entry is POD
   ++cancelled_count_;
   return true;
 }
 
+void Simulator::retire_cancelled(std::uint32_t slot) {
+  --cancelled_count_;
+  ++slots_[slot].gen;  // invalidate outstanding EventIds before reuse
+  free_slots_.push_back(slot);
+}
+
 bool Simulator::dispatch_one() {
   while (!queue_.empty()) {
-    // priority_queue has no non-const top-with-move; copying the callback
-    // would be wasteful, so move out via const_cast (the element is popped
-    // immediately after and never observed again).
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const Event ev = queue_.top();
     queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
+    Slot& s = slots_[ev.slot];
+    if (!s.armed) {
+      retire_cancelled(ev.slot);
       continue;
     }
+    // Move the callback out and recycle the slot *before* invoking: the
+    // callback may schedule new events (possibly reusing this slot) or
+    // cancel its own id (which the generation bump makes a clean no-op).
+    Callback fn = std::move(s.fn);
+    s.armed = false;
+    ++s.gen;
+    free_slots_.push_back(ev.slot);
     now_ = ev.when;
     ++dispatched_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;
@@ -64,10 +85,8 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   while (!queue_.empty()) {
     // Skip over cancelled events without advancing the clock.
     const Event& top = queue_.top();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
+    if (!slots_[top.slot].armed) {
+      retire_cancelled(top.slot);
       queue_.pop();
       continue;
     }

@@ -5,14 +5,23 @@
 // workload processes are written against it: they schedule callbacks at
 // future virtual times, and the run loop dispatches them in time order.
 // Ties are broken by insertion order, so runs are fully deterministic.
+//
+// Hot-path layout: the priority queue holds only POD (when, seq, slot)
+// triples; callbacks live in a generation-stamped slot map reused across
+// events. Cancellation flips the slot's armed flag in O(1) — the queue
+// entry is discarded when it surfaces — and EventIds carry the slot's
+// generation so cancelling an already-fired or already-cancelled event is
+// detected exactly.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace trail::sim {
@@ -22,13 +31,14 @@ class EventId {
  public:
   constexpr EventId() = default;
 
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr bool valid() const { return gen_ != 0; }
   constexpr auto operator<=>(const EventId&) const = default;
 
  private:
   friend class Simulator;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;  // 0 = "no event"
+  constexpr EventId(std::uint32_t slot, std::uint64_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;  // 0 = "no event"
 };
 
 /// Thrown when the simulation run limit is exceeded (runaway model).
@@ -39,7 +49,7 @@ class SimulationOverrun : public std::runtime_error {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -54,8 +64,8 @@ class Simulator {
   /// Schedule `fn` at an absolute virtual time (>= now()).
   EventId schedule_at(TimePoint when, Callback fn);
 
-  /// Cancel a pending event. Returns false if it already fired / was
-  /// cancelled / never existed. Cancellation is O(1) (lazy removal).
+  /// Cancel a pending event in O(1). Returns false if it already fired /
+  /// was cancelled / never existed.
   bool cancel(EventId id);
 
   /// Run until the event queue drains. Returns the number of events fired.
@@ -69,7 +79,7 @@ class Simulator {
   /// Dispatch a single event; returns false if the queue is empty.
   bool step();
 
-  /// Number of events currently pending (including lazily-cancelled ones).
+  /// Number of live pending events (cancelled ones excluded).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_count_; }
 
   /// Guard against runaway simulations: run()/run_until() throw
@@ -80,23 +90,74 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
  private:
-  struct Event {
+  struct Event {  // POD: cheap to sift through the heap
     TimePoint when;
     std::uint64_t seq = 0;
-    Callback fn;
+    std::uint32_t slot = 0;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  // 4-ary min-heap on (when, seq). The wider node fans sift-downs across
+  // one cache line of children, roughly halving the comparisons-with-miss
+  // cost of a binary heap for the push/pop-dominated dispatch loop. The
+  // (when, seq) order is total, so heap shape never affects dispatch order.
+  class EventHeap {
+   public:
+    [[nodiscard]] bool empty() const { return v_.empty(); }
+    [[nodiscard]] std::size_t size() const { return v_.size(); }
+    [[nodiscard]] const Event& top() const { return v_.front(); }
+
+    void push(Event e) {
+      std::size_t i = v_.size();
+      v_.push_back(e);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!before(v_[i], v_[parent])) break;
+        std::swap(v_[i], v_[parent]);
+        i = parent;
+      }
     }
+
+    void pop() {
+      v_.front() = v_.back();
+      v_.pop_back();
+      if (v_.empty()) return;
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= v_.size()) break;
+        const std::size_t last = std::min(first + 4, v_.size());
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c)
+          if (before(v_[c], v_[best])) best = c;
+        if (!before(v_[best], v_[i])) break;
+        std::swap(v_[i], v_[best]);
+        i = best;
+      }
+    }
+
+   private:
+    static bool before(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when < b.when;
+      return a.seq < b.seq;
+    }
+    std::vector<Event> v_;
+  };
+
+  struct Slot {
+    Callback fn;
+    std::uint64_t gen = 0;  // bumped each time the slot is armed
+    bool armed = false;     // scheduled and not yet fired/cancelled
   };
 
   bool dispatch_one();
+  // A popped/surfaced queue entry whose slot is disarmed was cancelled:
+  // recycle the slot and fix the pending count.
+  void retire_cancelled(std::uint32_t slot);
 
   TimePoint now_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted lazily; small in practice
+  EventHeap queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t cancelled_count_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;

@@ -1,0 +1,153 @@
+// Engine-determinism guard for the hot-path rewrite: the same seed must
+// produce bit-identical virtual-time behaviour — same TrailStats, same
+// Simulator::events_dispatched(), same clock, same platter bytes. Any
+// drift here means an "optimisation" changed simulated semantics, which
+// would silently invalidate every paper-reproduction number.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/crc32.hpp"
+#include "core/format_tool.hpp"
+#include "core/trail_driver.hpp"
+#include "disk/disk_device.hpp"
+#include "disk/profile.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail {
+namespace {
+
+struct RunResult {
+  core::TrailStats stats;
+  std::uint64_t events_dispatched = 0;
+  std::int64_t final_time_ns = 0;
+  std::size_t log_sectors_written = 0;
+  std::size_t data_sectors_written = 0;
+  std::uint32_t data_crc = 0;
+};
+
+void expect_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.stats.requests_logged, b.stats.requests_logged);
+  EXPECT_EQ(a.stats.sectors_logged, b.stats.sectors_logged);
+  EXPECT_EQ(a.stats.physical_log_writes, b.stats.physical_log_writes);
+  EXPECT_EQ(a.stats.records_written, b.stats.records_written);
+  EXPECT_EQ(a.stats.track_switches, b.stats.track_switches);
+  EXPECT_EQ(a.stats.idle_repositions, b.stats.idle_repositions);
+  EXPECT_EQ(a.stats.log_full_stalls, b.stats.log_full_stalls);
+  EXPECT_EQ(a.stats.reads, b.stats.reads);
+  EXPECT_EQ(a.stats.read_buffer_hits, b.stats.read_buffer_hits);
+  EXPECT_EQ(a.stats.writebacks, b.stats.writebacks);
+  EXPECT_EQ(a.stats.writeback_sectors, b.stats.writeback_sectors);
+  EXPECT_EQ(a.stats.writebacks_skipped, b.stats.writebacks_skipped);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.final_time_ns, b.final_time_ns);
+  EXPECT_EQ(a.log_sectors_written, b.log_sectors_written);
+  EXPECT_EQ(a.data_sectors_written, b.data_sectors_written);
+  EXPECT_EQ(a.data_crc, b.data_crc);
+}
+
+// A bench-harness-style clustered sync-write workload: two processes
+// chaining random-target writes of mixed sizes through the driver, with
+// interleaved reads, run to full write-back drain.
+RunResult run_workload(std::uint64_t seed) {
+  sim::Simulator sim;
+  disk::DiskDevice log_disk(sim, disk::small_test_disk());
+  disk::DiskDevice data_disk_a(sim, disk::small_test_disk());
+  disk::DiskDevice data_disk_b(sim, disk::small_test_disk());
+  core::format_log_disk(log_disk);
+  core::TrailDriver driver(sim, log_disk);
+  const io::DeviceId dev_a = driver.add_data_disk(data_disk_a);
+  const io::DeviceId dev_b = driver.add_data_disk(data_disk_b);
+  driver.mount();
+
+  const disk::Lba sectors = data_disk_a.geometry().total_sectors();
+  constexpr int kProcesses = 2;
+  constexpr int kWritesPerProcess = 120;
+  int remaining = kProcesses;
+
+  sim::Rng seeder(seed);
+  for (int p = 0; p < kProcesses; ++p) {
+    struct Proc {
+      sim::Rng rng;
+      int issued = 0;
+      std::vector<std::byte> data;
+      std::function<void()> next;
+    };
+    auto st = std::make_shared<Proc>();
+    st->rng = seeder.split();
+    st->next = [st, &sim, &driver, dev_a, dev_b, sectors, &remaining] {
+      if (st->issued >= kWritesPerProcess) {
+        st->next = nullptr;
+        --remaining;
+        return;
+      }
+      ++st->issued;
+      const auto count = static_cast<std::uint32_t>(st->rng.uniform(1, 8));
+      const auto dev = (st->rng.uniform(0, 1) == 0) ? dev_a : dev_b;
+      const auto lba = static_cast<disk::Lba>(
+          st->rng.uniform(0, static_cast<std::int64_t>(sectors - count - 1)));
+      st->data.assign(static_cast<std::size_t>(count) * disk::kSectorSize,
+                      std::byte(static_cast<std::uint8_t>(st->issued)));
+      driver.submit_write(io::BlockAddr{dev, lba}, count, st->data, [st, &sim, &driver, dev, lba] {
+        // Occasionally read back what was just written before continuing.
+        if (st->issued % 7 == 0) {
+          auto out = std::make_shared<std::vector<std::byte>>(disk::kSectorSize);
+          driver.submit_read(io::BlockAddr{dev, lba}, 1, *out, [st, out] {
+            if (st->next) st->next();
+          });
+        } else if (st->next) {
+          st->next();
+        }
+      });
+    };
+    sim.schedule(sim::micros(p), [st] { st->next(); });
+  }
+
+  while (remaining > 0) {
+    if (!sim.step()) throw std::runtime_error("determinism workload stalled");
+  }
+  bool drained = false;
+  driver.drain([&] { drained = true; });
+  while (!drained) {
+    if (!sim.step()) throw std::runtime_error("drain stalled");
+  }
+
+  RunResult r;
+  r.stats = driver.stats();
+  r.events_dispatched = sim.events_dispatched();
+  r.final_time_ns = sim.now().ns();
+  r.log_sectors_written = log_disk.store().written_sector_count();
+  r.data_sectors_written =
+      data_disk_a.store().written_sector_count() + data_disk_b.store().written_sector_count();
+  // CRC the full written image of one data disk (unwritten sectors zero).
+  std::vector<std::byte> image(static_cast<std::size_t>(sectors) * disk::kSectorSize);
+  data_disk_a.store().read(0, static_cast<std::uint32_t>(sectors), image);
+  r.data_crc = core::crc32(image);
+  return r;
+}
+
+TEST(Determinism, SameSeedSameTrailStatsAndEventCount) {
+  const RunResult first = run_workload(42);
+  const RunResult second = run_workload(42);
+  expect_equal(first, second);
+  // Sanity: the workload actually exercised the stack.
+  EXPECT_EQ(first.stats.requests_logged, 240u);
+  EXPECT_GT(first.stats.writebacks, 0u);
+  EXPECT_GT(first.stats.reads, 0u);
+  EXPECT_GT(first.events_dispatched, 1000u);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const RunResult a = run_workload(42);
+  const RunResult b = run_workload(43);
+  // Not a hard requirement of the engine, but if two different seeds give
+  // identical platter CRCs the workload above stopped being random.
+  EXPECT_NE(a.data_crc, b.data_crc);
+}
+
+}  // namespace
+}  // namespace trail

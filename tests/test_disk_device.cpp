@@ -262,6 +262,86 @@ TEST(SectorStore, RangeChecks) {
   EXPECT_THROW(store.read(0, 2, buf), std::invalid_argument);  // buffer too small
 }
 
+TEST(SectorStore, WritesStraddlingChunkBoundaries) {
+  constexpr std::uint32_t kChunk = SectorStore::kChunkSectors;
+  SectorStore store(kChunk * 4);
+  // A run crossing two chunk boundaries: last 3 sectors of chunk 0 through
+  // the first 5 of chunk 2.
+  const Lba start = kChunk - 3;
+  const std::uint32_t count = 3 + kChunk + 5;
+  std::vector<std::byte> data(static_cast<std::size_t>(count) * kSectorSize);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = std::byte(static_cast<std::uint8_t>(i * 131 + i / kSectorSize));
+  store.write(start, count, data);
+  EXPECT_EQ(store.written_sector_count(), count);
+
+  std::vector<std::byte> out(data.size());
+  store.read(start, count, out);
+  EXPECT_EQ(out, data);
+
+  // Reads straddling the same boundaries at different alignments.
+  std::vector<std::byte> two(2 * kSectorSize);
+  store.read(kChunk - 1, 2, two);
+  EXPECT_TRUE(std::equal(two.begin(), two.end(),
+                         data.begin() + static_cast<std::ptrdiff_t>(2) * kSectorSize));
+
+  EXPECT_TRUE(store.is_written(start));
+  EXPECT_TRUE(store.is_written(kChunk));              // chunk 1 start
+  EXPECT_TRUE(store.is_written(2 * kChunk + 4));      // last written sector
+  EXPECT_FALSE(store.is_written(start - 1));
+  EXPECT_FALSE(store.is_written(2 * kChunk + 5));
+}
+
+TEST(SectorStore, UnwrittenSectorsInsideWrittenChunkReadZero) {
+  constexpr std::uint32_t kChunk = SectorStore::kChunkSectors;
+  SectorStore store(kChunk * 2);
+  std::vector<std::byte> data(kSectorSize, std::byte{0xEE});
+  store.write(7, 1, data);  // allocates chunk 0
+  EXPECT_TRUE(store.is_written(7));
+  EXPECT_FALSE(store.is_written(6));
+  EXPECT_FALSE(store.is_written(8));
+  EXPECT_EQ(store.written_sector_count(), 1u);
+  // Neighbours inside the same (now allocated) chunk must read as zeroes.
+  std::vector<std::byte> out(3 * kSectorSize, std::byte{0x55});
+  store.read(6, 3, out);
+  EXPECT_EQ(out[0], std::byte{0});
+  EXPECT_EQ(out[kSectorSize - 1], std::byte{0});
+  EXPECT_EQ(out[kSectorSize], std::byte{0xEE});
+  EXPECT_EQ(out[2 * kSectorSize], std::byte{0});
+}
+
+TEST(SectorStore, WrittenSectorCountIsExactUnderOverwrites) {
+  constexpr std::uint32_t kChunk = SectorStore::kChunkSectors;
+  SectorStore store(kChunk * 2);
+  std::vector<std::byte> eight(8 * kSectorSize, std::byte{0x11});
+  store.write(0, 8, eight);
+  EXPECT_EQ(store.written_sector_count(), 8u);
+  store.write(4, 8, eight);  // overlaps 4 already-written sectors
+  EXPECT_EQ(store.written_sector_count(), 12u);
+  store.write(0, 8, eight);  // full overwrite: no change
+  EXPECT_EQ(store.written_sector_count(), 12u);
+  store.write(kChunk - 1, 2, std::vector<std::byte>(2 * kSectorSize));  // straddle
+  EXPECT_EQ(store.written_sector_count(), 14u);
+}
+
+TEST(SectorStore, WipeReclaimsMemory) {
+  constexpr std::uint32_t kChunk = SectorStore::kChunkSectors;
+  SectorStore store(kChunk * 8);
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+  std::vector<std::byte> data(kSectorSize, std::byte{0x42});
+  for (Lba lba = 0; lba < kChunk * 8; lba += kChunk) store.write(lba, 1, data);
+  EXPECT_GE(store.allocated_bytes(), 8u * kChunk * kSectorSize);
+  EXPECT_EQ(store.written_sector_count(), 8u);
+  store.wipe();
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+  EXPECT_EQ(store.written_sector_count(), 0u);
+  EXPECT_FALSE(store.is_written(0));
+  // The store stays fully usable after the wipe.
+  store.write(kChunk + 1, 1, data);
+  EXPECT_TRUE(store.is_written(kChunk + 1));
+  EXPECT_EQ(store.written_sector_count(), 1u);
+}
+
 }  // namespace
 }  // namespace trail::disk
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -75,6 +76,86 @@ TEST(Simulator, CancelPreventsDispatch) {
   EXPECT_FALSE(sim.cancel(id));  // double-cancel reports failure
   sim.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DoubleCancelAndCancelAfterFireKeepPendingConsistent) {
+  Simulator sim;
+  int fired = 0;
+  const EventId keep = sim.schedule(millis(5), [&] { ++fired; });
+  const EventId gone = sim.schedule(millis(1), [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 2u);
+
+  EXPECT_TRUE(sim.cancel(gone));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.cancel(gone));  // double-cancel: reported, not double-counted
+  EXPECT_FALSE(sim.cancel(gone));
+  EXPECT_EQ(sim.pending_events(), 1u);
+
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.cancel(keep));  // cancel after fire
+  EXPECT_FALSE(sim.cancel(gone));  // cancel after cancelled event was retired
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelOfStaleIdAfterSlotReuse) {
+  Simulator sim;
+  int fired = 0;
+  const EventId first = sim.schedule(millis(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // The new event may reuse the fired event's internal slot; the stale id
+  // must not cancel it.
+  const EventId second = sim.schedule(millis(1), [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(first));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(second.valid());
+}
+
+TEST(Simulator, CancelOwnEventFromItsCallbackIsNoop) {
+  Simulator sim;
+  auto id = std::make_shared<EventId>();
+  bool cancel_result = true;
+  *id = sim.schedule(millis(1), [&, id] { cancel_result = sim.cancel(*id); });
+  sim.run();
+  EXPECT_FALSE(cancel_result);  // the event had already fired
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunUntilRetiresCancelledEventsWithoutFiring) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule(millis(1), [&] { ++fired; });
+  sim.schedule(millis(2), [&] { ++fired; });
+  sim.schedule(millis(9), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run_until(TimePoint{millis(3).ns()});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ManyInterleavedCancelsStayDeterministic) {
+  // The tombstoned queue must dispatch survivors in exactly (when, seq)
+  // order regardless of cancellation pattern.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(sim.schedule(millis(i % 10), [&order, i] { order.push_back(i); }));
+  for (int i = 0; i < 100; i += 3) EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+  sim.run();
+  std::vector<int> expected;
+  for (int t = 0; t < 10; ++t)
+    for (int i = t; i < 100; i += 10)
+      if (i % 3 != 0) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline) {
