@@ -29,7 +29,7 @@ void threshold_sweep() {
     const auto lat = SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                             stack.data_disks[0]->geometry().total_sectors(), p);
     const auto& alloc = stack.driver->allocator();
-    table.add_row({sim::TablePrinter::fmt(threshold, 2), sim::TablePrinter::fmt(lat.mean(), 2),
+    table.add_row({sim::TablePrinter::fmt(threshold, 2), sim::TablePrinter::fmt(lat.mean_ms(), 2),
                    sim::TablePrinter::fmt(alloc.mean_finished_track_utilization() * 100, 1),
                    sim::TablePrinter::fmt_int(
                        static_cast<std::int64_t>(stack.driver->stats().track_switches)),
@@ -55,8 +55,8 @@ void scheduler_comparison() {
     const auto lat = SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                             stack.data_disks[0]->geometry().total_sectors(), p);
     table.add_row({sched == io::StandardDriver::Scheduling::kFifo ? "FIFO" : "C-LOOK",
-                   sim::TablePrinter::fmt(lat.mean(), 2),
-                   sim::TablePrinter::fmt(lat.percentile(99), 2)});
+                   sim::TablePrinter::fmt(lat.mean_ms(), 2),
+                   sim::TablePrinter::fmt(lat.percentile_ms(99), 2)});
   }
   table.print();
 }
@@ -81,7 +81,7 @@ void idle_reposition_ablation() {
     const auto lat = SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                             stack.data_disks[0]->geometry().total_sectors(), p);
     table.add_row({enabled ? "every 500 ms" : "disabled",
-                   sim::TablePrinter::fmt(lat.mean(), 2),
+                   sim::TablePrinter::fmt(lat.mean_ms(), 2),
                    sim::TablePrinter::fmt_int(
                        static_cast<std::int64_t>(stack.driver->stats().idle_repositions))});
   }
@@ -112,7 +112,7 @@ void log_disk_hardware() {
     p.writes_per_process = 120;
     const auto lat = SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                             stack.data_disks[0]->geometry().total_sectors(), p);
-    table.add_row({c.name, sim::TablePrinter::fmt(lat.mean(), 2), c.note});
+    table.add_row({c.name, sim::TablePrinter::fmt(lat.mean_ms(), 2), c.note});
   }
   table.print();
 }

@@ -32,14 +32,14 @@ Cell run_size(std::uint32_t sectors, std::uint32_t processes) {
       const auto lat =
           SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                  stack.data_disks[0]->geometry().total_sectors(), p);
-      (clustered ? cell.trail_clustered : cell.trail_sparse) = lat.mean();
+      (clustered ? cell.trail_clustered : cell.trail_sparse) = lat.mean_ms();
     }
     {
       StandardStack stack;
       const auto lat =
           SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                  stack.data_disks[0]->geometry().total_sectors(), p);
-      (clustered ? cell.std_clustered : cell.std_sparse) = lat.mean();
+      (clustered ? cell.std_clustered : cell.std_sparse) = lat.mean_ms();
     }
   }
   return cell;
@@ -65,14 +65,16 @@ void micro_measurements() {
   const auto lat = SyncWriteWorkload::run(stack.sim, *stack.driver, stack.devices,
                                           stack.data_disks[0]->geometry().total_sectors(),
                                           params);
-  std::printf("one-sector sync write      : mean %.3f ms (min %.3f, p99 %.3f)\n", lat.mean(),
-              lat.min(), lat.percentile(99));
+  std::printf("one-sector sync write      : mean %.3f ms (min %.3f, p99 %.3f)\n", lat.mean_ms(),
+              lat.min_ms(), lat.percentile_ms(99));
   const double resid =
-      lat.mean() - p.command_overhead.ms() - 2 * p.sector_time(0).ms();
+      lat.mean_ms() - p.command_overhead.ms() - 2 * p.sector_time(0).ms();
   std::printf("residual rotational latency: %.3f ms (paper: < 0.5 ms; avg rotation %.2f ms)\n",
               resid, p.rotation_time().ms() / 2);
   std::printf("track switches observed    : %llu (reposition ~ overhead + head switch)\n",
               static_cast<unsigned long long>(stack.driver->stats().track_switches));
+  print_latency_block("one-sector sync write", lat);
+  print_metrics_block("micro", stack.obs.metrics);
 }
 
 void figure3(std::uint32_t processes, const char* label) {

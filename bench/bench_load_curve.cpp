@@ -29,7 +29,7 @@ Point run_rate(double rate_per_sec, MakeStack make_stack) {
   const disk::Lba device_sectors = stack->data_disks[0]->geometry().total_sectors();
 
   const int total = 400;
-  auto latencies = std::make_shared<sim::Summary>();
+  auto latencies = std::make_shared<obs::Histogram>();
   auto completed = std::make_shared<int>(0);
   sim::Rng rng(99);
   auto data = std::make_shared<std::vector<std::byte>>(2 * disk::kSectorSize, std::byte{0x5C});
@@ -46,7 +46,7 @@ Point run_rate(double rate_per_sec, MakeStack make_stack) {
       const sim::TimePoint t0 = simulator.now();
       driver.submit_write(io::BlockAddr{dev, lba}, 2, *data,
                           [&simulator, t0, latencies, completed] {
-                            latencies->add(simulator.now() - t0);
+                            latencies->record(simulator.now() - t0);
                             ++*completed;
                           });
     });
@@ -60,8 +60,8 @@ Point run_rate(double rate_per_sec, MakeStack make_stack) {
   Point p;
   p.offered = rate_per_sec;
   p.achieved = *completed / wall;
-  p.mean_ms = latencies->count() ? latencies->mean() : 0;
-  p.p99_ms = latencies->count() ? latencies->percentile(99) : 0;
+  p.mean_ms = latencies->count() ? latencies->mean_ms() : 0;
+  p.p99_ms = latencies->count() ? latencies->percentile_ms(99) : 0;
   p.mean_batch = 0;
   return p;
 }

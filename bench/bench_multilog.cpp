@@ -49,7 +49,7 @@ Result run(int log_disk_count, std::uint32_t write_sectors, bool force_repositio
   const auto lat = SyncWriteWorkload::run(simulator, driver, devices,
                                           data[0]->geometry().total_sectors(), p);
   const double wall_sec = (simulator.now() - t0).sec();
-  return Result{lat.mean(), (p.writes_per_process + p.warmup_per_process) / wall_sec};
+  return Result{lat.mean_ms(), (p.writes_per_process + p.warmup_per_process) / wall_sec};
 }
 
 }  // namespace

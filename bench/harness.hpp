@@ -15,15 +15,19 @@
 #include "disk/disk_device.hpp"
 #include "disk/profile.hpp"
 #include "io/standard_driver.hpp"
+#include "obs/obs.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
 namespace trail::bench {
 
-/// The paper's hardware: one ST41601N log disk + N WD data disks.
+/// The paper's hardware: one ST41601N log disk + N WD data disks. Every
+/// stack carries an observability context (metrics always collected,
+/// tracing off unless a bench enables it) attached before mount.
 struct TrailStack {
   sim::Simulator sim;
+  obs::Obs obs{sim};
   std::unique_ptr<disk::DiskDevice> log_disk;
   std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
   std::unique_ptr<core::TrailDriver> driver;
@@ -42,6 +46,7 @@ struct TrailStack {
       config.delta = calib.delta_time;
     }
     driver = std::make_unique<core::TrailDriver>(sim, *log_disk, config);
+    driver->attach_obs(&obs);
     for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
     driver->mount();
   }
@@ -81,11 +86,13 @@ struct SyncWriteWorkload {
     std::uint64_t seed = 42;
   };
 
-  /// Runs to completion; returns per-write latency stats (ms).
-  static sim::Summary run(sim::Simulator& sim, io::BlockDriver& driver,
-                          const std::vector<io::DeviceId>& devices, disk::Lba device_sectors,
-                          const Params& p) {
-    auto latencies = std::make_shared<sim::Summary>();
+  /// Runs to completion; returns the per-write latency histogram (ns
+  /// units — read back through the *_ms accessors). O(1) per sample, so
+  /// the bench hot loops never pay sample-vector growth or sorting.
+  static obs::Histogram run(sim::Simulator& sim, io::BlockDriver& driver,
+                            const std::vector<io::DeviceId>& devices, disk::Lba device_sectors,
+                            const Params& p) {
+    auto latencies = std::make_shared<obs::Histogram>();
     auto remaining = std::make_shared<std::uint32_t>(p.processes);
     sim::Rng seeder(p.seed);
 
@@ -116,7 +123,7 @@ struct SyncWriteWorkload {
         driver.submit_write(
             io::BlockAddr{dev, lba}, p.write_sectors, st->data,
             [st, &sim, p, latencies, measured, t0] {
-              if (measured) latencies->add(sim.now() - t0);
+              if (measured) latencies->record(sim.now() - t0);
               if (!st->next) return;
               if (p.clustered) {
                 auto go = st->next;
@@ -143,6 +150,18 @@ struct SyncWriteWorkload {
 
 inline void print_heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// One-line latency distribution block, ns-recorded histogram shown in ms.
+inline void print_latency_block(const char* label, const obs::Histogram& h) {
+  std::printf("  [%s] n=%llu p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms\n", label,
+              static_cast<unsigned long long>(h.count()), h.percentile_ms(50),
+              h.percentile_ms(90), h.percentile_ms(99), h.max_ms());
+}
+
+/// Per-phase metrics snapshot (deterministic JSON) from a stack's registry.
+inline void print_metrics_block(const char* phase, const obs::MetricsRegistry& metrics) {
+  std::printf("--- metrics[%s] %s\n", phase, metrics.to_json().c_str());
 }
 
 }  // namespace trail::bench

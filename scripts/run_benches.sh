@@ -23,7 +23,7 @@ run_bench() {
   local bin="$1" out="$2"
   if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
     "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01 \
-      --benchmark_out=/dev/null --benchmark_out_format=json
+      --benchmark_out="$out" --benchmark_out_format=json
   else
     "$BUILD_DIR/bench/$bin" \
       --benchmark_repetitions="$REPS" \
@@ -32,9 +32,34 @@ run_bench() {
   fi
 }
 
-run_bench bench_engine BENCH_engine.json
-run_bench bench_micro BENCH_micro.json
+# Per-bench latency histogram blocks: benches that record an obs::Histogram
+# export its percentiles as p50_ns/p99_ns counters; render them here so the
+# distribution shape is visible in the run log, not just the JSON.
+print_histogram_blocks() {
+  local json="$1"
+  python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = [b for b in doc.get("benchmarks", [])
+        if "p50_ns" in b and b.get("run_type", "iteration") in ("iteration", "aggregate")
+        and b.get("aggregate_name", "median") == "median"]
+if rows:
+    print("per-bench latency histogram blocks:")
+    for b in rows:
+        print("  [%s] p50=%.0fns p99=%.0fns" % (b["name"], b["p50_ns"], b["p99_ns"]))
+EOF
+}
 
-if [[ "${BENCH_SMOKE:-0}" != "1" ]]; then
+if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  run_bench bench_engine "$SMOKE_DIR/engine.json"
+  run_bench bench_micro "$SMOKE_DIR/micro.json"
+  print_histogram_blocks "$SMOKE_DIR/engine.json"
+else
+  run_bench bench_engine BENCH_engine.json
+  run_bench bench_micro BENCH_micro.json
+  print_histogram_blocks BENCH_engine.json
   echo "wrote BENCH_engine.json and BENCH_micro.json"
 fi

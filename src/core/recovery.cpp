@@ -46,6 +46,11 @@ RecoveryManager::TrackKey RecoveryManager::scan_track(std::uint8_t unit,
   std::vector<std::byte> buf(static_cast<std::size_t>(spt) * disk::kSectorSize);
   read_sync(unit, base, spt, buf);
   ++stats.tracks_scanned;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("recovery.tracks_scanned").inc();
+    if (obs_->tracer.enabled())
+      obs_->tracer.instant_value("recovery.probe", "recovery", track, obs::kRecoveryTid);
+  }
 
   TrackKey best;
   for (std::uint32_t s = 0; s < spt; ++s) {
@@ -157,6 +162,8 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
 
   // ---- Phase 1: locate the youngest active write record ----
   const sim::TimePoint locate_start = sim_.now();
+  obs::ScopedSpan locate_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.locate",
+                              "recovery", obs::kRecoveryTid);
   TrackKey youngest;
   for (std::uint8_t unit = 0; unit < units_.size(); ++unit) {
     TrackKey candidate;
@@ -170,10 +177,13 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
       youngest = candidate;
   }
   stats.locate_time = sim_.now() - locate_start;
+  locate_span.finish();
   if (!youngest.present) return outcome;  // nothing was logged in the crashed epoch
 
   // ---- Phase 2: rebuild the pending-record set ----
   const sim::TimePoint rebuild_start = sim_.now();
+  obs::ScopedSpan rebuild_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.rebuild",
+                               "recovery", obs::kRecoveryTid);
 
   std::uint8_t unit = youngest.unit;
   disk::Lba lba = youngest.header_lba;
@@ -258,12 +268,17 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
   std::reverse(chain.begin(), chain.end());  // ascending key
   stats.records_found = static_cast<std::uint32_t>(chain.size());
   stats.rebuild_time = sim_.now() - rebuild_start;
+  rebuild_span.finish();
   outcome.pending = std::move(chain);
+  if (obs_ != nullptr)
+    obs_->metrics.counter("recovery.records_found").inc(stats.records_found);
 
   // ---- Phase 3: write pending records back to the data disks ----
   if (options.write_back && !outcome.pending.empty()) {
     if (!data_write_) throw std::logic_error("recovery: write-back requested without DataWriteFn");
     const sim::TimePoint wb_start = sim_.now();
+    obs::ScopedSpan wb_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.writeback",
+                            "recovery", obs::kRecoveryTid);
     for (const RecoveredRecord& rec : outcome.pending) {
       // Direct-log records have no data-disk home; the mounting driver
       // re-adopts them and the client replays from their payloads.

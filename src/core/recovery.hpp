@@ -32,6 +32,7 @@
 #include "core/log_format.hpp"
 #include "disk/disk_device.hpp"
 #include "io/block.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace trail::core {
@@ -75,6 +76,11 @@ class RecoveryManager {
   RecoveryManager(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
                   DataWriteFn data_write);
 
+  /// Optional observability: per-phase spans ("recovery.locate" /
+  /// "recovery.rebuild" / "recovery.writeback"), a per-track-scan probe
+  /// instant, and track/record counters on the recovery lane.
+  void attach_obs(obs::Obs* obs) { obs_ = obs; }
+
   struct Outcome {
     RecoveryStats stats;
     /// Pending records in ascending key order. Non-empty payloads.
@@ -117,6 +123,7 @@ class RecoveryManager {
   sim::Simulator& sim_;
   std::vector<Unit> units_;
   DataWriteFn data_write_;
+  obs::Obs* obs_ = nullptr;
 };
 
 }  // namespace trail::core

@@ -15,6 +15,31 @@ constexpr std::uint8_t kDataDiskMajor = 3;
 constexpr sim::Duration kBufferReadDelay = sim::micros(5);
 }  // namespace
 
+std::string TrailStats::to_json() const {
+  std::string s = "{";
+  const auto field = [&s](const char* name, std::uint64_t v) {
+    if (s.size() > 1) s += ',';
+    s += '"';
+    s += name;
+    s += "\":";
+    s += std::to_string(v);
+  };
+  field("requests_logged", requests_logged);
+  field("sectors_logged", sectors_logged);
+  field("physical_log_writes", physical_log_writes);
+  field("records_written", records_written);
+  field("track_switches", track_switches);
+  field("idle_repositions", idle_repositions);
+  field("log_full_stalls", log_full_stalls);
+  field("reads", reads);
+  field("read_buffer_hits", read_buffer_hits);
+  field("writebacks", writebacks);
+  field("writeback_sectors", writeback_sectors);
+  field("writebacks_skipped", writebacks_skipped);
+  s += '}';
+  return s;
+}
+
 TrailDriver::TrailDriver(sim::Simulator& sim, disk::DiskDevice& log_disk, TrailConfig config)
     : TrailDriver(sim, std::vector<disk::DiskDevice*>{&log_disk}, config) {}
 
@@ -53,7 +78,36 @@ io::DeviceId TrailDriver::add_data_disk(disk::DiskDevice& device) {
   if (mounted_) throw std::logic_error("TrailDriver: add data disks before mount()");
   data_queues_.push_back(std::make_unique<io::DeviceQueue>(device, io::make_fifo_scheduler()));
   data_disks_.push_back(&device);
-  return io::DeviceId{kDataDiskMajor, static_cast<std::uint8_t>(data_queues_.size() - 1)};
+  const auto minor = static_cast<std::uint8_t>(data_queues_.size() - 1);
+  if (obs_ != nullptr) attach_data_queue_obs(minor);
+  return io::DeviceId{kDataDiskMajor, minor};
+}
+
+void TrailDriver::attach_data_queue_obs(std::size_t index) {
+  const auto tid = obs::kDataDiskTidBase + static_cast<std::uint32_t>(index);
+  const std::string label = "data" + std::to_string(index);
+  obs_->tracer.set_track_name(tid, label);
+  data_queues_[index]->attach_obs(obs_, tid, "io.queue_depth." + label);
+}
+
+void TrailDriver::attach_obs(obs::Obs* obs) {
+  if (mounted_) throw std::logic_error("TrailDriver: attach_obs before mount()");
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    h_sync_write_ = h_phys_write_ = h_batch_ = nullptr;
+    g_log_queue_ = nullptr;
+    for (auto& q : data_queues_) q->attach_obs(nullptr, 0, "");
+    return;
+  }
+  h_sync_write_ = &obs_->metrics.histogram("trail.sync_write_ns");
+  h_phys_write_ = &obs_->metrics.histogram("trail.physical_write_ns");
+  h_batch_ = &obs_->metrics.histogram("trail.batch_requests");
+  g_log_queue_ = &obs_->metrics.gauge("trail.log_queue_depth");
+  obs_->tracer.set_track_name(obs::kDriverTid, "driver");
+  obs_->tracer.set_track_name(obs::kRecoveryTid, "recovery");
+  for (std::size_t u = 0; u < units_.size(); ++u)
+    obs_->tracer.set_track_name(static_cast<std::uint32_t>(u), "log" + std::to_string(u));
+  for (std::size_t i = 0; i < data_queues_.size(); ++i) attach_data_queue_obs(i);
 }
 
 io::DeviceQueue& TrailDriver::data_queue(io::DeviceId dev) {
@@ -123,6 +177,7 @@ void TrailDriver::mount() {
           io.on_complete = std::move(done);
           data_queue(dev).submit(std::move(io));
         });
+    recovery.attach_obs(obs_);
     auto outcome = recovery.run(max_epoch, opts);
     last_recovery_ = outcome.stats;
     if (!outcome.pending.empty()) {
@@ -296,7 +351,9 @@ void TrailDriver::submit_write(io::BlockAddr addr, std::uint32_t count,
   req.count = count;
   req.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(count) * disk::kSectorSize);
   req.cb = std::move(cb);
+  req.submitted = sim_.now();
   pending_.push_back(std::move(req));
+  note_log_queue_depth();
   service_log_queue();
 }
 
@@ -313,8 +370,18 @@ void TrailDriver::append_direct(std::span<const std::byte> bytes, std::uint64_t 
   req.data.assign(bytes.begin(), bytes.end());
   req.data.resize(static_cast<std::size_t>(req.count) * disk::kSectorSize);  // zero pad
   req.cb = std::move(cb);
+  req.submitted = sim_.now();
   pending_.push_back(std::move(req));
+  note_log_queue_depth();
   service_log_queue();
+}
+
+void TrailDriver::note_log_queue_depth() {
+  if (g_log_queue_ == nullptr) return;
+  const auto depth = static_cast<std::int64_t>(pending_.size());
+  g_log_queue_->set(depth);
+  if (obs_->tracer.enabled())
+    obs_->tracer.counter("trail.log_queue_depth", "log", depth, obs::kDriverTid);
 }
 
 void TrailDriver::release_direct_before(std::uint64_t cookie) {
@@ -389,6 +456,8 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
       switch_track(unit_id);
       return true;  // unit now busy repositioning; caller may try others
     }
+    if (obs_ != nullptr && obs_->tracer.enabled())
+      obs_->tracer.instant("log.predict_wait", "log", unit_id);
   }
 
   // ---- Build as many records as queue + free run allow ----
@@ -512,6 +581,7 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
 
   unit.allocator->occupy(first_pos, total, static_cast<std::uint32_t>(unit.inflight.size()));
   unit.busy = true;
+  unit.busy_since = sim_.now();
   const std::uint32_t last_sector = pos - 1;
   auto alive = alive_;
   unit.device->write(base + first_pos, total, image, [this, alive, unit_id, last_sector] {
@@ -527,10 +597,17 @@ void TrailDriver::on_physical_write_done(std::uint8_t unit_id, std::uint32_t las
   unit.predictor->set_reference(sim_.now(), track, last_sector);
   ++stats_.physical_log_writes;
   stats_.records_written += unit.inflight.size();
+  if (obs_ != nullptr) {
+    const sim::Duration span = sim_.now() - unit.busy_since;
+    h_phys_write_->record(span);
+    if (obs_->tracer.enabled())
+      obs_->tracer.complete("log.append", "log", unit.busy_since, span, unit_id);
+  }
 
   // Adopt the records as live and pin their payloads; advance per-request
   // progress for exactly the sectors this write carried.
   std::vector<Completion> acks;
+  std::int64_t acked = 0;
   for (const BuiltRecord& rec : unit.inflight) {
     const std::uint64_t key = record_key(rec.header);
     const bool rec_direct = rec.header.entries[0].data_major == kDirectLogMajor;
@@ -556,13 +633,17 @@ void TrailDriver::on_physical_write_done(std::uint8_t unit_id, std::uint32_t las
       r.in_flight -= part.count;
       if (r.logged == r.count) {
         ++stats_.requests_logged;
+        ++acked;
+        if (h_sync_write_ != nullptr) h_sync_write_->record(sim_.now() - r.submitted);
         if (!r.direct) enqueue_writeback(r.addr.device, r.addr.lba, r.count);
         if (r.cb) acks.push_back(std::move(r.cb));
       }
     }
   }
+  if (h_batch_ != nullptr) h_batch_->record(acked);
   while (!pending_.empty() && pending_.front().logged == pending_.front().count)
     pending_.pop_front();
+  note_log_queue_depth();
   unit.inflight.clear();
 
   // Acknowledge the synchronous writes (this is the low-latency return of
@@ -588,10 +669,13 @@ void TrailDriver::switch_track(std::uint8_t unit_id) {
     unit.full = true;
     unit.busy = false;
     ++stats_.log_full_stalls;
+    if (obs_ != nullptr && obs_->tracer.enabled())
+      obs_->tracer.instant("log.full_stall", "log", unit_id);
     return;
   }
   ++stats_.track_switches;
   unit.busy = true;
+  unit.busy_since = sim_.now();
 
   // Aim the repositioning read at the sector of the next track that will
   // be closest to the head once the switch completes — estimated from
@@ -614,6 +698,9 @@ void TrailDriver::switch_track(std::uint8_t unit_id) {
                       LogUnit& u = units_[unit_id];
                       u.predictor->set_reference(sim_.now(), next, target);
                       u.busy = false;
+                      if (obs_ != nullptr && obs_->tracer.enabled())
+                        obs_->tracer.complete("log.track_switch", "log", u.busy_since,
+                                              sim_.now() - u.busy_since, unit_id);
                       service_log_queue();
                     });
 }
@@ -638,6 +725,8 @@ void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32
   // The range's sectors are already cover-pinned (at registration);
   // the dispatch/skip paths below release exactly one pin per sector.
   ++stats_.writebacks;
+  if (obs_ != nullptr && obs_->tracer.enabled())
+    obs_->tracer.instant_value("wb.enqueue", "wb", count, obs::kDriverTid);
 
   io::PendingIo io;
   io.is_write = true;
@@ -653,6 +742,8 @@ void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32
     if (!buffers_->range_settled(dev, lba, count)) return false;
     buffers_->unpin_range(dev, lba, count);
     ++stats_.writebacks_skipped;
+    if (obs_ != nullptr && obs_->tracer.enabled())
+      obs_->tracer.instant_value("wb.skip", "wb", count, obs::kDriverTid);
     return true;
   };
   auto versions = std::make_shared<std::vector<std::uint64_t>>();
@@ -758,6 +849,8 @@ void TrailDriver::arm_idle_timer() {
                           LogUnit& uu = units_[u];
                           uu.predictor->set_reference(sim_.now(), track, target);
                           ++stats_.idle_repositions;
+                          if (obs_ != nullptr && obs_->tracer.enabled())
+                            obs_->tracer.instant("log.idle_reposition", "log", u);
                           uu.busy = false;
                           if (!pending_.empty()) service_log_queue();
                         });

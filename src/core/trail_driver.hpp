@@ -34,6 +34,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/buffer_manager.hpp"
@@ -46,6 +47,7 @@
 #include "disk/seek_model.hpp"
 #include "io/block.hpp"
 #include "io/device_queue.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace trail::core {
@@ -93,6 +95,13 @@ struct TrailStats {
                ? 0.0
                : static_cast<double>(requests_logged) / static_cast<double>(physical_log_writes);
   }
+
+  bool operator==(const TrailStats&) const = default;
+
+  /// Deterministic one-line JSON snapshot (field order fixed); the
+  /// determinism test compares these serialized snapshots, and benches
+  /// embed them in their metrics blocks.
+  [[nodiscard]] std::string to_json() const;
 };
 
 class TrailDriver final : public io::BlockDriver {
@@ -107,6 +116,14 @@ class TrailDriver final : public io::BlockDriver {
 
   /// Register a data disk; returns its DeviceId.
   io::DeviceId add_data_disk(disk::DiskDevice& device);
+
+  /// Attach an observability context (before mount()): sync-write and
+  /// physical-write latency histograms, a log-queue-depth gauge, and —
+  /// when the tracer is enabled — spans/instants for log appends, track
+  /// switches, head-prediction waits, log-full stalls, write-back
+  /// dispatch/skip, and recovery phases. Propagates to the data-disk
+  /// device queues and to the RecoveryManager run at mount.
+  void attach_obs(obs::Obs* obs);
 
   /// Boot the driver: read the disk headers, recover if the previous
   /// epoch crashed, stamp the new epoch, and position the heads. Drives
@@ -177,6 +194,7 @@ class TrailDriver final : public io::BlockDriver {
     std::uint32_t in_flight = 0;  // sectors in in-flight physical writes
     bool direct = false;          // direct-log payload (no write-back)
     std::uint64_t cookie = 0;     // direct: byte offset in the client log
+    sim::TimePoint submitted{};   // arrival time (sync-latency histogram)
   };
   struct LiveRecord {
     std::uint8_t unit = 0;
@@ -207,6 +225,7 @@ class TrailDriver final : public io::BlockDriver {
     bool busy = false;  // physical write or repositioning in flight
     bool full = false;  // ring exhausted: next track still live
     std::vector<BuiltRecord> inflight;  // records of the in-flight write
+    sim::TimePoint busy_since{};        // start of the in-flight operation
     disk::SectorBuf scratch{};
 
     LogUnit(disk::DiskDevice& dev)
@@ -222,6 +241,8 @@ class TrailDriver final : public io::BlockDriver {
   void enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32_t count);
   void arm_idle_timer();
   void position_heads_initial();
+  void attach_data_queue_obs(std::size_t index);
+  void note_log_queue_depth();
   [[nodiscard]] io::DeviceQueue& data_queue(io::DeviceId dev);
   void run_sim_until(const std::function<bool()>& done, const char* what);
   void adopt_recovered(std::vector<RecoveredRecord> records);
@@ -251,6 +272,16 @@ class TrailDriver final : public io::BlockDriver {
   RecoveryStats last_recovery_;
   std::vector<RecoveredRecord> recovered_direct_;
   sim::EventId idle_timer_;
+
+  // Observability (optional; null when unattached). Histogram/gauge
+  // handles are cached at attach so the hot path never does name lookups.
+  obs::Obs* obs_ = nullptr;
+  obs::Histogram* h_sync_write_ = nullptr;   // submit -> ack, ns
+  obs::Histogram* h_phys_write_ = nullptr;   // physical log write, ns
+  obs::Histogram* h_batch_ = nullptr;        // requests acked per physical write
+  obs::Gauge* g_log_queue_ = nullptr;        // pending synchronous writes
+
+
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

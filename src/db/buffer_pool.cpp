@@ -19,6 +19,21 @@ std::uint32_t BufferPool::register_file(PageFile& file) {
   return static_cast<std::uint32_t>(files_.size() - 1);
 }
 
+void BufferPool::attach_obs(obs::Obs* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    c_hits_ = c_misses_ = c_evictions_ = c_dirty_wb_ = nullptr;
+    g_resident_ = nullptr;
+    return;
+  }
+  c_hits_ = &obs_->metrics.counter("db.cache_hits");
+  c_misses_ = &obs_->metrics.counter("db.cache_misses");
+  c_evictions_ = &obs_->metrics.counter("db.evictions");
+  c_dirty_wb_ = &obs_->metrics.counter("db.dirty_writebacks");
+  g_resident_ = &obs_->metrics.gauge("db.resident_pages");
+  obs_->tracer.set_track_name(obs::kDbCacheTid, "db.cache");
+}
+
 void BufferPool::touch(const FrameKey& key, Frame& frame) {
   lru_.erase(frame.lru_pos);
   lru_.push_front(key);
@@ -43,6 +58,7 @@ void BufferPool::fetch(std::uint32_t file_id, PageNo page,
       return;
     }
     ++stats_.hits;
+    if (c_hits_ != nullptr) c_hits_->inc();
     // Charge a tiny CPU cost; run asynchronously to bound stack depth.
     Frame* fp = it->second.get();
     sim_.schedule(kHitDelay, [fp, use = std::move(use)] { use(fp->data); });
@@ -51,6 +67,7 @@ void BufferPool::fetch(std::uint32_t file_id, PageNo page,
 
   // Miss: allocate a frame and read the page.
   ++stats_.misses;
+  if (c_misses_ != nullptr) c_misses_->inc();
   auto frame = std::make_unique<Frame>();
   frame->data.resize(kPageSize);
   frame->loading = true;
@@ -61,9 +78,16 @@ void BufferPool::fetch(std::uint32_t file_id, PageNo page,
   frames_.emplace(key, std::move(frame));
   maybe_evict();
 
+  if (g_resident_ != nullptr) g_resident_->set(static_cast<std::int64_t>(frames_.size()));
+  sim::TimePoint load_begin{};
+  const bool traced = obs_ != nullptr && obs_->tracer.enabled();
+  if (traced) load_begin = sim_.now();
   auto alive = alive_;
-  files_.at(file_id)->read_page(page, fp->data, [alive, fp] {
+  files_.at(file_id)->read_page(page, fp->data, [this, alive, fp, traced, load_begin] {
     if (!*alive) return;
+    if (traced && obs_ != nullptr && obs_->tracer.enabled())
+      obs_->tracer.complete("db.page_load", "db", load_begin, sim_.now() - load_begin,
+                            obs::kDbCacheTid);
     fp->loading = false;
     auto waiters = std::move(fp->waiters);
     fp->waiters.clear();
@@ -109,10 +133,17 @@ void BufferPool::maybe_evict() {
       lru_.erase(pos);
       frames_.erase(victim_key);
       ++stats_.evictions;
+      if (c_evictions_ != nullptr) c_evictions_->inc();
+      if (g_resident_ != nullptr) g_resident_->set(static_cast<std::int64_t>(frames_.size()));
       continue;
     }
     // Dirty victim: honour the WAL rule, write it back, then drop it.
     ++stats_.dirty_writebacks;
+    if (c_dirty_wb_ != nullptr) {
+      c_dirty_wb_->inc();
+      if (obs_->tracer.enabled())
+        obs_->tracer.instant("db.evict_dirty", "db", obs::kDbCacheTid);
+    }
     victim->flushing = true;
     Frame* fp = victim;
     const FrameKey key = victim_key;
@@ -129,6 +160,8 @@ void BufferPool::maybe_evict() {
           lru_.erase(fp->lru_pos);
           frames_.erase(it);
           ++stats_.evictions;
+          if (c_evictions_ != nullptr) c_evictions_->inc();
+          if (g_resident_ != nullptr) g_resident_->set(static_cast<std::int64_t>(frames_.size()));
         }
         maybe_evict();
       });

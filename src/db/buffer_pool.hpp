@@ -22,6 +22,7 @@
 #include "db/page_file.hpp"
 #include "db/types.hpp"
 #include "db/wal.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace trail::db {
@@ -41,6 +42,10 @@ class BufferPool {
   ~BufferPool() { *alive_ = false; }
 
   std::uint32_t register_file(PageFile& file);
+
+  /// Optional observability: hit/miss/eviction counters, a resident-page
+  /// gauge, page-load spans and dirty-eviction instants on the cache lane.
+  void attach_obs(obs::Obs* obs);
 
   /// Fetch a page and hand its frame bytes to `use`. The span is valid
   /// for the duration of the callback only; to mutate, write through it
@@ -99,6 +104,12 @@ class BufferPool {
   std::unordered_map<FrameKey, std::unique_ptr<Frame>, FrameKeyHash> frames_;
   std::list<FrameKey> lru_;  // front = most recent
   BufferPoolStats stats_;
+  obs::Obs* obs_ = nullptr;
+  obs::Counter* c_hits_ = nullptr;
+  obs::Counter* c_misses_ = nullptr;
+  obs::Counter* c_evictions_ = nullptr;
+  obs::Counter* c_dirty_wb_ = nullptr;
+  obs::Gauge* g_resident_ = nullptr;
   /// Guards outstanding device completions across host-crash teardown.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

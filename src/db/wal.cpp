@@ -125,6 +125,8 @@ void LogManager::commit(Lsn lsn, std::function<void()> done) {
   // Deferred durability: the transaction reports success now; its records
   // reach disk with a later group flush. Track the exposure window.
   deferred_commits_.emplace_back(lsn + 1, sim_.now());
+  if (obs_ != nullptr && obs_->tracer.enabled())
+    obs_->tracer.instant("wal.deferred_commit", "wal", obs::kWalTid);
   if (done) done();
 }
 
@@ -170,6 +172,9 @@ void LogManager::start_flush() {
     const sim::TimePoint submit_time = sim_.now();
     direct_append_(bytes, from, [this, alive, submit_time] {
       if (!*alive) return;
+      if (obs_ != nullptr && obs_->tracer.enabled())
+        obs_->tracer.complete("wal.flush", "wal", submit_time, sim_.now() - submit_time,
+                              obs::kWalTid);
       stats_.flush_io_time += sim_.now() - submit_time;
       stats_.flushed_bytes += flush_target_ - durable_lsn_;
       durable_lsn_ = flush_target_;
@@ -231,6 +236,9 @@ void LogManager::start_flush() {
     if (--fs->outstanding > 0) return;
     auto finish = [this, alive, fs] {
       if (!*alive) return;
+      if (obs_ != nullptr && obs_->tracer.enabled())
+        obs_->tracer.complete("wal.flush", "wal", fs->submit_time,
+                              sim_.now() - fs->submit_time, obs::kWalTid);
       stats_.flush_io_time += sim_.now() - fs->submit_time;
       stats_.flushed_bytes += flush_target_ - durable_lsn_;
       durable_lsn_ = flush_target_;
@@ -307,6 +315,7 @@ void LogManager::complete_waiters() {
     Waiter w = std::move(waiters_.front());
     waiters_.pop_front();
     stats_.flush_wait += sim_.now() - w.since;
+    if (h_commit_wait_ != nullptr) h_commit_wait_->record(sim_.now() - w.since);
     if (w.done) w.done();
   }
 }

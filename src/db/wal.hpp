@@ -33,6 +33,7 @@
 
 #include "db/types.hpp"
 #include "io/block.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace trail::db {
@@ -87,6 +88,14 @@ class LogManager {
  public:
   LogManager(sim::Simulator& sim, io::BlockDriver& driver, WalConfig config);
   ~LogManager() { *alive_ = false; }
+
+  /// Optional observability: a commit-wait histogram ("wal.commit_wait_ns"),
+  /// flush spans ("wal.flush") and deferred-commit instants on the WAL lane.
+  void attach_obs(obs::Obs* obs) {
+    obs_ = obs;
+    h_commit_wait_ = obs != nullptr ? &obs->metrics.histogram("wal.commit_wait_ns") : nullptr;
+    if (obs != nullptr) obs->tracer.set_track_name(obs::kWalTid, "wal");
+  }
 
   /// Direct track-based logging (§6 future work): instead of writing the
   /// log region of a file device, flushes append their bytes straight to
@@ -159,6 +168,8 @@ class LogManager {
   io::BlockDriver& driver_;
   WalConfig config_;
   WalStats stats_;
+  obs::Obs* obs_ = nullptr;
+  obs::Histogram* h_commit_wait_ = nullptr;
 
   std::vector<std::byte> buffer_;  // bytes [buffer_base_, next_lsn_)
   Lsn buffer_base_ = 0;            // lsn of buffer_[0]

@@ -7,14 +7,38 @@ namespace trail::io {
 DeviceQueue::DeviceQueue(disk::DiskDevice& device, std::unique_ptr<IoScheduler> scheduler)
     : device_(device), scheduler_(std::move(scheduler)) {}
 
+void DeviceQueue::attach_obs(obs::Obs* obs, std::uint32_t tid,
+                             std::string_view depth_gauge_name) {
+  obs_ = obs;
+  obs_tid_ = tid;
+  if (obs_ != nullptr) {
+    depth_gauge_ = &obs_->metrics.gauge(depth_gauge_name);
+    skip_counter_ = &obs_->metrics.counter("io.dispatch_skips");
+  } else {
+    depth_gauge_ = nullptr;
+    skip_counter_ = nullptr;
+  }
+}
+
+void DeviceQueue::update_depth() {
+  if (depth_gauge_ == nullptr) return;
+  const auto depth =
+      static_cast<std::int64_t>(scheduler_->size()) + (dispatched_ ? 1 : 0);
+  depth_gauge_->set(depth);
+  if (obs_->tracer.enabled())
+    obs_->tracer.counter("io.queue_depth", "io", depth, obs_tid_);
+}
+
 void DeviceQueue::submit(PendingIo io) {
   io.seq = next_seq_++;
   scheduler_->push(std::move(io));
   pump();
+  update_depth();
 }
 
 void DeviceQueue::clear() {
   while (!scheduler_->empty()) (void)scheduler_->pop_next(0);
+  update_depth();
 }
 
 void DeviceQueue::pump() {
@@ -26,12 +50,23 @@ void DeviceQueue::pump() {
     if (io.cancelled && io.cancelled()) {
       // Superseded while queued (Trail §4.2 skips such write-backs). Its
       // completion still fires so bookkeeping can release resources.
+      if (skip_counter_ != nullptr) {
+        skip_counter_->inc();
+        if (obs_->tracer.enabled()) obs_->tracer.instant("io.skip", "io", obs_tid_);
+      }
       if (io.on_complete) io.on_complete();
       continue;
     }
     dispatched_ = true;
-    auto finish = [this, cb = std::move(io.on_complete)]() {
+    const bool is_write = io.is_write;
+    sim::TimePoint begin{};
+    if (obs_ != nullptr && obs_->tracer.enabled()) begin = obs_->tracer.now();
+    auto finish = [this, is_write, begin, cb = std::move(io.on_complete)]() {
       dispatched_ = false;
+      if (obs_ != nullptr && obs_->tracer.enabled())
+        obs_->tracer.complete(is_write ? "io.write" : "io.read", "io", begin,
+                              obs_->tracer.now() - begin, obs_tid_);
+      update_depth();
       if (cb) cb();
       pump();
       if (idle() && on_idle_) on_idle_();

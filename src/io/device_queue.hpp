@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 
 #include "disk/disk_device.hpp"
 #include "io/scheduler.hpp"
+#include "obs/obs.hpp"
 
 namespace trail::io {
 
@@ -40,14 +42,24 @@ class DeviceQueue {
   /// the DiskDevice's to forget.
   void clear();
 
+  /// Optional observability: per-command service spans ("io.read" /
+  /// "io.write") on lane `tid`, queue-depth gauge + counter lane, and a
+  /// skipped-dispatch counter. Near-zero cost while the tracer is off.
+  void attach_obs(obs::Obs* obs, std::uint32_t tid, std::string_view depth_gauge_name);
+
  private:
   void pump();
+  void update_depth();
 
   disk::DiskDevice& device_;
   std::unique_ptr<IoScheduler> scheduler_;
   std::uint64_t next_seq_ = 0;
   bool dispatched_ = false;  // one of ours is on the device
   std::function<void()> on_idle_;
+  obs::Obs* obs_ = nullptr;
+  std::uint32_t obs_tid_ = 0;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* skip_counter_ = nullptr;
 };
 
 }  // namespace trail::io

@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace trail::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_index(std::int64_t v) {
+  if (v < kSubCount) return static_cast<int>(v < 0 ? 0 : v);
+  const auto u = static_cast<std::uint64_t>(v);
+  const int exp = 63 - std::countl_zero(u);  // floor(log2 v) >= kSubBits
+  const int shift = exp - kSubBits;
+  const int sub = static_cast<int>((u >> shift) & (kSubCount - 1));
+  const int octave = exp - kSubBits + 1;
+  return octave * kSubCount + sub;
+}
+
+std::int64_t Histogram::bucket_lower(int index) {
+  if (index < kSubCount) return index;
+  const int octave = index / kSubCount;
+  const int sub = index % kSubCount;
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(kSubCount + sub)
+                                   << (octave - 1));
+}
+
+std::int64_t Histogram::bucket_mid(int index) {
+  if (index < kSubCount) return index;  // exact buckets
+  const int octave = index / kSubCount;
+  const std::int64_t width = std::int64_t{1} << (octave - 1);
+  return bucket_lower(index) + width / 2;
+}
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++counts_[bucket_index(v)];
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (std::isnan(p)) throw std::invalid_argument("Histogram::percentile: NaN");
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return static_cast<double>(min_);
+  if (p >= 100.0) return static_cast<double>(max_);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const auto mid = static_cast<double>(bucket_mid(i));
+      // The representative never escapes the observed range.
+      return std::clamp(mid, static_cast<double>(min_), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);  // unreachable: counts_ sums to count_
+}
+
+void Histogram::reset() {
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(std::string(name), Gauge{}).first;
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string(name), Histogram{}).first;
+  return it->second;
+}
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    append_fmt(out, "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+               static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    append_fmt(out, "%s\"%s\":{\"value\":%lld,\"max\":%lld}", first ? "" : ",", name.c_str(),
+               static_cast<long long>(g.value()), static_cast<long long>(g.max()));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    append_fmt(out,
+               "%s\"%s\":{\"count\":%llu,\"sum\":%lld,\"min\":%lld,\"max\":%lld,"
+               "\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f}",
+               first ? "" : ",", name.c_str(), static_cast<unsigned long long>(h.count()),
+               static_cast<long long>(h.sum()), static_cast<long long>(h.min()),
+               static_cast<long long>(h.max()), h.mean(), h.percentile(50), h.percentile(90),
+               h.percentile(99));
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace trail::obs

@@ -1,0 +1,38 @@
+// One observability context shared across a stack's layers.
+//
+// A single Obs owns the metrics registry and the event tracer; the
+// driver, device queues, WAL, buffer pool and recovery all hold a
+// nullable `Obs*` (attach_obs) so uninstrumented construction costs
+// nothing and instrumented construction is one pointer assignment.
+//
+// Lane (tid) assignments for trace presentation — see set_track_name
+// defaults applied by TrailDriver::attach_obs:
+//   0..14   log units ("log0"..)
+//   16..    data disks ("data0"..)
+//   32      driver-level lane (log queue depth, stalls)
+//   33      recovery
+//   40      WAL
+//   41      DB buffer pool
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail::obs {
+
+inline constexpr std::uint32_t kDataDiskTidBase = 16;
+inline constexpr std::uint32_t kDriverTid = 32;
+inline constexpr std::uint32_t kRecoveryTid = 33;
+inline constexpr std::uint32_t kWalTid = 40;
+inline constexpr std::uint32_t kDbCacheTid = 41;
+
+struct Obs {
+  explicit Obs(const sim::Simulator& sim, std::size_t trace_capacity = 1 << 16)
+      : tracer(sim, trace_capacity) {}
+
+  MetricsRegistry metrics;
+  EventTracer tracer;
+};
+
+}  // namespace trail::obs

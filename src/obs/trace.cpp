@@ -1,0 +1,142 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace trail::obs {
+
+EventTracer::EventTracer(const sim::Simulator& sim, std::size_t capacity)
+    : sim_(&sim), ring_(capacity == 0 ? 1 : capacity) {}
+
+void EventTracer::set_track_name(std::uint32_t tid, std::string name) {
+  track_names_[tid] = std::move(name);
+}
+
+void EventTracer::push(const TraceEvent& e) {
+  if (count_ == ring_.size()) {
+    ring_[head_] = e;  // overwrite the oldest
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+    return;
+  }
+  ring_[(head_ + count_) % ring_.size()] = e;
+  ++count_;
+}
+
+void EventTracer::complete(const char* name, const char* cat, sim::TimePoint begin,
+                           sim::Duration dur, std::uint32_t tid) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = begin.ns();
+  e.dur_ns = dur.ns();
+  e.tid = tid;
+  e.ph = TracePhase::kComplete;
+  push(e);
+}
+
+void EventTracer::instant(const char* name, const char* cat, std::uint32_t tid) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = sim_->now().ns();
+  e.tid = tid;
+  e.ph = TracePhase::kInstant;
+  push(e);
+}
+
+void EventTracer::instant_value(const char* name, const char* cat, std::int64_t value,
+                                std::uint32_t tid) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = sim_->now().ns();
+  e.value = value;
+  e.has_value = true;
+  e.tid = tid;
+  e.ph = TracePhase::kInstant;
+  push(e);
+}
+
+void EventTracer::counter(const char* name, const char* cat, std::int64_t value,
+                          std::uint32_t tid) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = sim_->now().ns();
+  e.value = value;
+  e.has_value = true;
+  e.tid = tid;
+  e.ph = TracePhase::kCounter;
+  push(e);
+}
+
+void EventTracer::clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Nanoseconds -> Chrome's microsecond timestamps, exactly ("123.456").
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string EventTracer::export_chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const auto& [tid, name] : track_names_) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", tid, name.c_str());
+    out += buf;
+    first = false;
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = at(i);
+    std::snprintf(buf, sizeof buf, "%s{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%u,",
+                  first ? "" : ",", e.name, e.cat, e.tid);
+    out += buf;
+    first = false;
+    out += "\"ts\":";
+    append_us(out, e.ts_ns);
+    switch (e.ph) {
+      case TracePhase::kComplete:
+        out += ",\"ph\":\"X\",\"dur\":";
+        append_us(out, e.dur_ns);
+        out += "}";
+        break;
+      case TracePhase::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        if (e.has_value) {
+          std::snprintf(buf, sizeof buf, ",\"args\":{\"value\":%lld}",
+                        static_cast<long long>(e.value));
+          out += buf;
+        }
+        out += "}";
+        break;
+      case TracePhase::kCounter:
+        std::snprintf(buf, sizeof buf, ",\"ph\":\"C\",\"args\":{\"value\":%lld}}",
+                      static_cast<long long>(e.value));
+        out += buf;
+        break;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace trail::obs

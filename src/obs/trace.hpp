@@ -1,0 +1,125 @@
+// Event tracing for the observability layer (trail::obs).
+//
+// A bounded ring buffer of typed events stamped with SIMULATED time:
+// traces answer "why did the batching factor move" in virtual-time
+// terms, and — because the simulation is deterministic — two runs of the
+// same seed export byte-identical traces, which the test suite checks.
+//
+// Event kinds map onto the Chrome trace-event format (loadable in
+// chrome://tracing and Perfetto):
+//   * complete ("X")  — a span with begin timestamp and duration
+//     (recorded once, at completion, so async operations need no
+//     begin/end pairing across callbacks);
+//   * instant  ("i")  — a point event, optionally carrying a value;
+//   * counter  ("C")  — a sampled level (queue depth lanes).
+//
+// Names and categories are `const char*` and must be string literals
+// (or otherwise outlive the tracer): events store the pointers only.
+// When the tracer is disabled every emit call is a single predictable
+// branch; ScopedSpan degenerates to storing one null pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace trail::obs {
+
+enum class TracePhase : std::uint8_t { kComplete, kInstant, kCounter };
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t ts_ns = 0;   // simulated begin time
+  std::int64_t dur_ns = 0;  // kComplete only
+  std::int64_t value = 0;   // kCounter level / kInstant arg
+  std::uint32_t tid = 0;    // presentation lane (see set_track_name)
+  TracePhase ph = TracePhase::kInstant;
+  bool has_value = false;
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(const sim::Simulator& sim, std::size_t capacity = 1 << 16);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] sim::TimePoint now() const { return sim_->now(); }
+
+  /// Name a presentation lane ("log0", "data1", "wal", ...). Metadata
+  /// only; survives clear().
+  void set_track_name(std::uint32_t tid, std::string name);
+
+  /// A span [begin, begin+dur), emitted at completion time.
+  void complete(const char* name, const char* cat, sim::TimePoint begin, sim::Duration dur,
+                std::uint32_t tid = 0);
+  void instant(const char* name, const char* cat, std::uint32_t tid = 0);
+  void instant_value(const char* name, const char* cat, std::int64_t value,
+                     std::uint32_t tid = 0);
+  void counter(const char* name, const char* cat, std::int64_t value, std::uint32_t tid = 0);
+
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Oldest-first event access (i in [0, size())).
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), oldest event
+  /// first, lane-name metadata first of all. Deterministic: equal event
+  /// sequences serialize to equal bytes.
+  [[nodiscard]] std::string export_chrome_json() const;
+
+ private:
+  void push(const TraceEvent& e);
+
+  const sim::Simulator* sim_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = false;
+  std::map<std::uint32_t, std::string> track_names_;
+};
+
+/// RAII span for synchronous scopes (recovery phases, bench phases):
+/// captures simulated begin time, emits one complete event at scope
+/// exit. Construct with a null/disabled tracer for a guaranteed no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(EventTracer* tracer, const char* name, const char* cat, std::uint32_t tid = 0)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        cat_(cat),
+        tid_(tid) {
+    if (tracer_ != nullptr) begin_ = tracer_->now();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { finish(); }
+
+  /// End the span early (before scope exit). Idempotent.
+  void finish() {
+    if (tracer_ == nullptr) return;
+    tracer_->complete(name_, cat_, begin_, tracer_->now() - begin_, tid_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  EventTracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  std::uint32_t tid_;
+  sim::TimePoint begin_{};
+};
+
+}  // namespace trail::obs

@@ -38,14 +38,21 @@ double Summary::stddev() const {
 
 double Summary::percentile(double p) const {
   if (values_.empty()) throw std::logic_error("Summary::percentile on empty summary");
+  if (std::isnan(p)) throw std::invalid_argument("Summary::percentile: p is NaN");
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;
   }
+  const std::size_t n = values_.size();
   const double clamped = std::clamp(p, 0.0, 100.0);
+  if (clamped <= 0.0) return values_.front();  // nearest-rank p0 = minimum
+  // Nearest-rank: smallest rank with at least p% of samples at or below
+  // it, clamped to [1, n] so p=100 and single-sample summaries always
+  // index in range regardless of float rounding in the product.
   const auto rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(values_.size())));
-  return values_[rank == 0 ? 0 : rank - 1];
+      std::clamp(std::ceil(clamped / 100.0 * static_cast<double>(n)), 1.0,
+                 static_cast<double>(n)));
+  return values_[rank - 1];
 }
 
 void Summary::clear() {

@@ -31,18 +31,10 @@ struct RunResult {
 };
 
 void expect_equal(const RunResult& a, const RunResult& b) {
-  EXPECT_EQ(a.stats.requests_logged, b.stats.requests_logged);
-  EXPECT_EQ(a.stats.sectors_logged, b.stats.sectors_logged);
-  EXPECT_EQ(a.stats.physical_log_writes, b.stats.physical_log_writes);
-  EXPECT_EQ(a.stats.records_written, b.stats.records_written);
-  EXPECT_EQ(a.stats.track_switches, b.stats.track_switches);
-  EXPECT_EQ(a.stats.idle_repositions, b.stats.idle_repositions);
-  EXPECT_EQ(a.stats.log_full_stalls, b.stats.log_full_stalls);
-  EXPECT_EQ(a.stats.reads, b.stats.reads);
-  EXPECT_EQ(a.stats.read_buffer_hits, b.stats.read_buffer_hits);
-  EXPECT_EQ(a.stats.writebacks, b.stats.writebacks);
-  EXPECT_EQ(a.stats.writeback_sectors, b.stats.writeback_sectors);
-  EXPECT_EQ(a.stats.writebacks_skipped, b.stats.writebacks_skipped);
+  // Field-wise equality plus the serialized snapshot: the JSON diff names
+  // the offending counter directly when a run diverges.
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.stats.to_json(), b.stats.to_json());
   EXPECT_EQ(a.events_dispatched, b.events_dispatched);
   EXPECT_EQ(a.final_time_ns, b.final_time_ns);
   EXPECT_EQ(a.log_sectors_written, b.log_sectors_written);
@@ -134,11 +126,13 @@ TEST(Determinism, SameSeedSameTrailStatsAndEventCount) {
   const RunResult first = run_workload(42);
   const RunResult second = run_workload(42);
   expect_equal(first, second);
-  // Sanity: the workload actually exercised the stack.
+  // Sanity: the workload actually exercised the stack, and the snapshot
+  // serializes the counters it claims to.
   EXPECT_EQ(first.stats.requests_logged, 240u);
   EXPECT_GT(first.stats.writebacks, 0u);
   EXPECT_GT(first.stats.reads, 0u);
   EXPECT_GT(first.events_dispatched, 1000u);
+  EXPECT_NE(first.stats.to_json().find("\"requests_logged\":240"), std::string::npos);
 }
 
 TEST(Determinism, DifferentSeedsDiverge) {
