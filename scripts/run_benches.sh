@@ -41,9 +41,16 @@ print_histogram_blocks() {
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-rows = [b for b in doc.get("benchmarks", [])
-        if "p50_ns" in b and b.get("run_type", "iteration") in ("iteration", "aggregate")
-        and b.get("aggregate_name", "median") == "median"]
+benches = [b for b in doc.get("benchmarks", []) if "p50_ns" in b]
+# With --benchmark_repetitions each bench reports per-repetition iteration
+# rows plus aggregate rows; print one line per bench, preferring the median
+# aggregate and falling back to iteration rows only for benches without one.
+aggregated = {b.get("run_name", b["name"]) for b in benches
+              if b.get("run_type") == "aggregate"}
+rows = [b for b in benches
+        if (b.get("run_type") == "aggregate" and b.get("aggregate_name") == "median")
+        or (b.get("run_type", "iteration") == "iteration"
+            and b.get("run_name", b["name"]) not in aggregated)]
 if rows:
     print("per-bench latency histogram blocks:")
     for b in rows:

@@ -59,11 +59,15 @@ void DeviceQueue::pump() {
     }
     dispatched_ = true;
     const bool is_write = io.is_write;
+    // Stamp `begin` only when tracing is live at dispatch; the completion
+    // checks the same flag so enabling the tracer mid-flight can't emit a
+    // span whose start predates the enable (it would begin at time 0).
+    const bool traced = obs_ != nullptr && obs_->tracer.enabled();
     sim::TimePoint begin{};
-    if (obs_ != nullptr && obs_->tracer.enabled()) begin = obs_->tracer.now();
-    auto finish = [this, is_write, begin, cb = std::move(io.on_complete)]() {
+    if (traced) begin = obs_->tracer.now();
+    auto finish = [this, is_write, traced, begin, cb = std::move(io.on_complete)]() {
       dispatched_ = false;
-      if (obs_ != nullptr && obs_->tracer.enabled())
+      if (traced && obs_ != nullptr && obs_->tracer.enabled())
         obs_->tracer.complete(is_write ? "io.write" : "io.read", "io", begin,
                               obs_->tracer.now() - begin, obs_tid_);
       update_depth();

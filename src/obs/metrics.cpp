@@ -106,9 +106,25 @@ void append_fmt(std::string& out, const char* fmt, ...) {
   char buf[160];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  out += buf;
+  if (n < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(n) < sizeof buf) {
+    out.append(buf, static_cast<std::size_t>(n));
+  } else {
+    // Entry longer than the stack buffer (long names, wide numbers):
+    // re-format into the string itself so nothing is truncated.
+    const auto old_size = out.size();
+    out.resize(old_size + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old_size, static_cast<std::size_t>(n) + 1, fmt, args_copy);
+    out.resize(old_size + static_cast<std::size_t>(n));
+  }
+  va_end(args_copy);
 }
 
 }  // namespace

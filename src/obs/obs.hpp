@@ -7,12 +7,12 @@
 //
 // Lane (tid) assignments for trace presentation — see set_track_name
 // defaults applied by TrailDriver::attach_obs:
-//   0..14   log units ("log0"..)
-//   16..    data disks ("data0"..)
-//   32      driver-level lane (log queue depth, stalls)
-//   33      recovery
-//   40      WAL
-//   41      DB buffer pool
+//   0..14      log units ("log0"..)
+//   16..271    data disks ("data0"..; DeviceId minor allows up to 256)
+//   1000       driver-level lane (log queue depth, stalls)
+//   1001       recovery
+//   1010       WAL
+//   1011       DB buffer pool
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -22,10 +22,14 @@
 namespace trail::obs {
 
 inline constexpr std::uint32_t kDataDiskTidBase = 16;
-inline constexpr std::uint32_t kDriverTid = 32;
-inline constexpr std::uint32_t kRecoveryTid = 33;
-inline constexpr std::uint32_t kWalTid = 40;
-inline constexpr std::uint32_t kDbCacheTid = 41;
+// Fixed lanes sit above the full data-disk range (16 + 256 minors) so a
+// wide stack can never alias them onto unrelated tracks.
+inline constexpr std::uint32_t kDriverTid = 1000;
+inline constexpr std::uint32_t kRecoveryTid = 1001;
+inline constexpr std::uint32_t kWalTid = 1010;
+inline constexpr std::uint32_t kDbCacheTid = 1011;
+static_assert(kDataDiskTidBase + 256 <= kDriverTid,
+              "data-disk lanes must not reach the fixed driver/recovery/WAL/db lanes");
 
 struct Obs {
   explicit Obs(const sim::Simulator& sim, std::size_t trace_capacity = 1 << 16)

@@ -4,6 +4,7 @@
 // export byte-identical Chrome-trace JSON and metrics JSON.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -108,6 +109,23 @@ TEST(MetricsRegistry, StableReferencesAndOrderedJson) {
   // Name-ordered serialization: "alpha" serializes before "zeta".
   EXPECT_LT(json.find("\"alpha\":2"), json.find("\"zeta\":5"));
   EXPECT_NE(json.find("\"alpha\":{\"value\":-3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSurvivesLongNamesAndWideNumbers) {
+  // A histogram entry with a long name and near-INT64_MAX values formats
+  // to well over the serializer's stack buffer; the output must still be
+  // complete, balanced JSON rather than an entry cut off mid-number.
+  MetricsRegistry reg;
+  const std::string name(96, 'n');
+  Histogram& h = reg.histogram(name);
+  h.record(std::int64_t{3'000'000'000'000'000'000});
+  h.record(std::int64_t{2'999'999'999'999'999'999});
+  const std::string json = reg.to_json();
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"sum\":5999999999999999999"), std::string::npos);
+  EXPECT_NE(json.find(name), std::string::npos);
 }
 
 // ----------------------------------------------------------------- tracer
