@@ -3,9 +3,18 @@
 // offline scanner: sector census, per-epoch record counts, utilization
 // histogram, chain verification, and a dump of the live records. A guided
 // tour of the self-describing on-disk format of §3.2.
+//
+// With `--fsck [report-path]` it instead runs the trail::audit log
+// verifier over the same scenario: once on the crashed image (torn-tail
+// warnings are legal, errors are not) and once after recovery + clean
+// unmount (which must produce zero error findings). Exits non-zero if
+// either pass finds an error — this is the CI corruption tripwire.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
+#include "audit/log_verifier.hpp"
 #include "core/format_tool.hpp"
 #include "core/log_scanner.hpp"
 #include "core/trail_driver.hpp"
@@ -15,16 +24,21 @@
 
 using namespace trail;
 
-int main() {
-  sim::Simulator simulator;
-  disk::DiskDevice log_disk(simulator, disk::small_test_disk());
-  disk::DiskDevice data_disk(simulator, disk::wd_caviar_10g());
-  core::format_log_disk(log_disk);
+namespace {
 
-  // Session 1: clean workload + unmount.
+struct Deployment {
+  sim::Simulator simulator;
+  disk::DiskDevice log_disk{simulator, disk::small_test_disk()};
+  disk::DiskDevice data_disk{simulator, disk::wd_caviar_10g()};
+};
+
+// Session 1: clean workload + unmount. Session 2: crash with pending
+// records (data disk halted so write-back cannot drain them).
+void run_workload(Deployment& dep) {
+  core::format_log_disk(dep.log_disk);
   {
-    core::TrailDriver driver(simulator, log_disk);
-    const io::DeviceId dev = driver.add_data_disk(data_disk);
+    core::TrailDriver driver(dep.simulator, dep.log_disk);
+    const io::DeviceId dev = driver.add_data_disk(dep.data_disk);
     driver.mount();
     sim::Rng rng(1);
     std::vector<std::byte> block(2 * disk::kSectorSize, std::byte{0x11});
@@ -32,15 +46,14 @@ int main() {
       bool done = false;
       driver.submit_write({dev, static_cast<disk::Lba>(rng.uniform(0, 5000)) * 2}, 2, block,
                           [&] { done = true; });
-      while (!done) simulator.step();
+      while (!done) dep.simulator.step();
     }
     driver.unmount();
   }
-  // Session 2: workload that crashes with pending records.
-  auto driver = std::make_unique<core::TrailDriver>(simulator, log_disk);
-  const io::DeviceId dev = driver->add_data_disk(data_disk);
+  auto driver = std::make_unique<core::TrailDriver>(dep.simulator, dep.log_disk);
+  const io::DeviceId dev = driver->add_data_disk(dep.data_disk);
   driver->mount();
-  data_disk.crash_halt();  // block write-back: records stay live
+  dep.data_disk.crash_halt();
   {
     sim::Rng rng(2);
     std::vector<std::byte> block(3 * disk::kSectorSize, std::byte{0x22});
@@ -48,14 +61,65 @@ int main() {
       bool done = false;
       driver->submit_write({dev, static_cast<disk::Lba>(rng.uniform(0, 5000)) * 4}, 3, block,
                            [&] { done = true; });
-      while (!done) simulator.step();
+      while (!done) dep.simulator.step();
     }
   }
   driver->crash();
-  driver.reset();
+}
+
+// Reboot the crashed deployment, let recovery replay the chain, then
+// unmount cleanly so the image reaches its post-recovery steady state.
+void reboot_and_recover(Deployment& dep, bool verbose) {
+  dep.log_disk.restart();
+  dep.data_disk.restart();
+  core::TrailDriver rebooted(dep.simulator, dep.log_disk);
+  (void)rebooted.add_data_disk(dep.data_disk);
+  rebooted.mount();
+  if (verbose)
+    std::printf("recovered %u records (%u track scans, %.1f ms locate)\n",
+                rebooted.last_recovery().records_found,
+                rebooted.last_recovery().tracks_scanned,
+                rebooted.last_recovery().locate_time.ms());
+  rebooted.unmount();
+}
+
+int run_fsck(const char* report_path) {
+  Deployment dep;
+  run_workload(dep);
+  std::printf("*** fsck pass 1: crashed image (torn tail legal) ***\n");
+  const audit::Report crashed = audit::verify_log(dep.log_disk);
+  std::printf("%s", crashed.to_string().c_str());
+  const bool crashed_ok = crashed.ok();
+
+  std::printf("\n*** fsck pass 2: after recovery + clean unmount ***\n");
+  reboot_and_recover(dep, /*verbose=*/false);
+  const audit::Report recovered = audit::verify_log(dep.log_disk);
+  std::printf("%s", recovered.to_string().c_str());
+  const bool recovered_ok = recovered.ok();
+
+  if (report_path != nullptr) {
+    std::FILE* f = std::fopen(report_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "log_inspector: cannot write %s\n", report_path);
+      return 2;
+    }
+    std::fprintf(f, "=== crashed image ===\n%s\n=== post-recovery image ===\n%s",
+                 crashed.to_string().c_str(), recovered.to_string().c_str());
+    std::fclose(f);
+    std::printf("\nreport written to %s\n", report_path);
+  }
+
+  std::printf("\nfsck: crashed image %s, post-recovery image %s\n",
+              crashed_ok ? "OK" : "HAS ERRORS", recovered_ok ? "OK" : "HAS ERRORS");
+  return crashed_ok && recovered_ok ? 0 : 1;
+}
+
+int run_tour() {
+  Deployment dep;
+  run_workload(dep);
   std::printf("*** crashed with pending records; inspecting the raw log disk ***\n\n");
 
-  core::LogScanner scanner(log_disk);
+  core::LogScanner scanner(dep.log_disk);
   const core::ScanReport report = scanner.scan();
 
   std::printf("formatted          : %s (%d/3 header replicas intact)\n",
@@ -101,14 +165,18 @@ int main() {
 
   // Boot a fresh driver: recovery replays the chain we just inspected.
   std::printf("\n*** rebooting: recovery should find the same chain ***\n");
-  log_disk.restart();
-  data_disk.restart();
-  core::TrailDriver rebooted(simulator, log_disk);
-  (void)rebooted.add_data_disk(data_disk);
-  rebooted.mount();
-  std::printf("recovered %u records (%u track scans, %.1f ms locate)\n",
-              rebooted.last_recovery().records_found, rebooted.last_recovery().tracks_scanned,
-              rebooted.last_recovery().locate_time.ms());
-  rebooted.unmount();
+  reboot_and_recover(dep, /*verbose=*/true);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--fsck") == 0)
+    return run_fsck(argc > 2 ? argv[2] : nullptr);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--fsck [report-path]]\n", argv[0]);
+    return 2;
+  }
+  return run_tour();
 }

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Repo-specific lint wall (DESIGN.md §9) — run from anywhere, no deps.
+
+Three checks, each encoding a convention the compiler cannot see:
+
+1. obs lane ranges: every fixed trace lane constant in src/obs/obs.hpp
+   (kDriverTid, kRecoveryTid, ...) must sit at or above
+   kDataDiskTidBase + 256, so a maximally wide stack (256 data-disk
+   minors) can never alias a per-device lane onto a fixed lane.
+
+2. metric registry: every metric name literal registered through
+   MetricsRegistry (metrics.counter("...") / gauge / histogram) must be
+   documented in the DESIGN.md §8 registry block between the
+   `metric-registry:begin/end` markers. Wildcard entries (`audit.*`)
+   cover dynamically composed names; a literal-prefix concatenation like
+   counter("audit." + name) is checked as `audit.*`.
+
+3. no naked new/delete under src/: ownership goes through containers and
+   smart pointers. The one deliberate exception is the type-erasure
+   small-buffer machinery in src/sim/callback.hpp.
+
+Exit status 0 = clean, 1 = findings (printed one per line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Files allowed to use naked new/delete (reviewed, deliberate).
+NEW_DELETE_ALLOWLIST = {"sim/callback.hpp"}
+
+findings: list[str] = []
+
+
+def fail(path: Path, lineno: int, message: str) -> None:
+    findings.append(f"{path.relative_to(REPO)}:{lineno}: {message}")
+
+
+def source_files() -> list[Path]:
+    return sorted(p for p in SRC.rglob("*") if p.suffix in {".cpp", ".hpp"})
+
+
+def strip_comments(line: str) -> str:
+    """Good enough for lint: drop // comments and string literals."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//")[0]
+
+
+# ---------------------------------------------------------------- check 1
+
+def check_obs_lanes() -> None:
+    obs_hpp = SRC / "obs" / "obs.hpp"
+    text = obs_hpp.read_text()
+    consts: dict[str, int] = {}
+    for m in re.finditer(
+        r"inline constexpr std::uint32_t (k\w*Tid\w*)\s*=\s*(\d+)\s*;", text
+    ):
+        consts[m.group(1)] = int(m.group(2))
+
+    base = consts.get("kDataDiskTidBase")
+    if base is None:
+        fail(obs_hpp, 1, "kDataDiskTidBase not found (lane check cannot run)")
+        return
+    floor = base + 256  # DeviceId minor is 8 bits: 256 data-disk lanes
+    for name, value in sorted(consts.items()):
+        if name == "kDataDiskTidBase":
+            continue
+        if value < floor:
+            fail(
+                obs_hpp,
+                1,
+                f"fixed lane {name}={value} collides with the data-disk lane "
+                f"range [{base}, {floor}) — move it to >= {floor}",
+            )
+
+
+# ---------------------------------------------------------------- check 2
+
+METRIC_CALL = re.compile(
+    r"""\b(?:metrics\s*(?:\.|->)\s*)?(counter|gauge|histogram)\(\s*"([^"]+)"\s*([+)])"""
+)
+# Call sites that are EventTracer counter lanes, not registry metrics.
+TRACER_FILES = {"obs/trace.hpp", "obs/trace.cpp"}
+
+
+def registry_patterns() -> list[str]:
+    design = REPO / "DESIGN.md"
+    text = design.read_text()
+    m = re.search(
+        r"<!--\s*metric-registry:begin\s*-->(.*?)<!--\s*metric-registry:end\s*-->",
+        text,
+        re.S,
+    )
+    if m is None:
+        findings.append("DESIGN.md: metric-registry:begin/end block not found")
+        return []
+    names = re.findall(r"`([a-z0-9_.*]+)`", m.group(1))
+    if not names:
+        findings.append("DESIGN.md: metric registry block lists no metric names")
+    return names
+
+
+def name_documented(name: str, patterns: list[str]) -> bool:
+    for pat in patterns:
+        if pat == name:
+            return True
+        if pat.endswith("*") and name.startswith(pat[:-1]):
+            return True
+    return False
+
+
+def check_metric_registry() -> None:
+    patterns = registry_patterns()
+    if not patterns:
+        return
+    for path in source_files():
+        rel = str(path.relative_to(SRC))
+        if rel in TRACER_FILES:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            # Tracer counter lanes share the method name `counter` but
+            # take (name, category, ...) — skip lines routed at a tracer.
+            if "tracer." in line or "tracer->" in line:
+                continue
+            for m in METRIC_CALL.finditer(line):
+                name = m.group(2)
+                if m.group(3) == "+":  # concatenation: check the prefix
+                    name += "*"
+                if not name_documented(name, patterns):
+                    fail(
+                        path,
+                        lineno,
+                        f"metric '{name}' is not in the DESIGN.md §8 metric "
+                        f"registry block — document it (or fix the name)",
+                    )
+
+
+# ---------------------------------------------------------------- check 3
+
+NAKED_NEW = re.compile(r"(?<![:_\w])new\s+[A-Za-z_(]")
+NAKED_DELETE = re.compile(r"(?<![:_\w])delete(\[\])?\s+[A-Za-z_*(]")
+PLACEMENT_NEW = re.compile(r"::new\s*\(")
+
+
+def check_naked_new_delete() -> None:
+    for path in source_files():
+        rel = str(path.relative_to(SRC))
+        if rel in NEW_DELETE_ALLOWLIST:
+            continue
+        in_block_comment = False
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = raw
+            if in_block_comment:
+                if "*/" not in line:
+                    continue
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            if "/*" in line:
+                head, _, tail = line.partition("/*")
+                line = head
+                if "*/" not in tail:
+                    in_block_comment = True
+            line = strip_comments(line)
+            line = PLACEMENT_NEW.sub("", line)  # placement new is fine
+            if NAKED_NEW.search(line):
+                fail(path, lineno, "naked `new` — use make_unique/make_shared or a container")
+            if NAKED_DELETE.search(line):
+                fail(path, lineno, "naked `delete` — ownership must be RAII-managed")
+
+
+def main() -> int:
+    check_obs_lanes()
+    check_metric_registry()
+    check_naked_new_delete()
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

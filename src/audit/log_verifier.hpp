@@ -1,0 +1,50 @@
+// fsck.trail — offline verification of every §3.2 on-disk invariant of
+// the self-describing log, reported through the trail::audit check
+// registry (one named check per invariant class, with per-sector
+// findings).
+//
+// The verifier reads the raw platter (SectorStore) directly: like the
+// LogScanner it is a maintenance tool that runs with the driver
+// unmounted, but where the scanner stops at the first chain error, the
+// verifier keeps going and reports *every* violation it can attribute —
+// that is what makes it usable as a corruption tripwire in tests and CI.
+//
+// Checks (see DESIGN.md §9 for the invariant catalogue):
+//   log.disk_header     — replica parse + quorum agreement
+//   log.geometry_block  — geometry replicas parse + match the device
+//   log.sector_classes  — first-byte discipline over every written sector
+//   log.record_entries  — entry array / payload layout agreement
+//   log.payload_crc     — payload image CRCs (chain members are errors,
+//                         off-chain torn records are warnings: partial
+//                         overwrite by track reuse is legal)
+//   log.record_keys     — global (epoch, sequence_id) uniqueness
+//   log.chain           — prev_sect walk: acyclic, key-monotone, bounded
+//                         by the youngest record's log_head
+#pragma once
+
+#include "audit/check.hpp"
+#include "disk/disk_device.hpp"
+#include "disk/geometry.hpp"
+#include "disk/sector_store.hpp"
+
+namespace trail::audit {
+
+struct VerifyOptions {
+  /// A crashed image may legally end in a torn final record (the power
+  /// cut interrupted an unacknowledged physical write); report such a
+  /// chain-tail tear as a warning instead of an error.
+  bool allow_torn_tail = true;
+};
+
+/// Walk a log-disk image and check every §3.2 invariant. `geometry` must
+/// be the disk's real geometry (the reserved replica tracks are derived
+/// from it exactly as the format tool placed them).
+[[nodiscard]] Report verify_log(const disk::SectorStore& store,
+                                const disk::Geometry& geometry,
+                                const VerifyOptions& options = {});
+
+/// Convenience overload over a whole device.
+[[nodiscard]] Report verify_log(const disk::DiskDevice& device,
+                                const VerifyOptions& options = {});
+
+}  // namespace trail::audit

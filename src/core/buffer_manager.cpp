@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "audit/check.hpp"
+
 namespace trail::core {
 
 namespace {
@@ -273,6 +275,62 @@ void BufferManager::unpin_range(io::DeviceId dev, disk::Lba lba, std::uint32_t c
     }
     if (group_empty) retire_group(it);
     i += run;
+  }
+}
+
+void BufferManager::audit(audit::Report& report) const {
+  audit::Check& state = report.check("buffer.state");
+  audit::Check& pending = report.check("buffer.pending");
+
+  std::size_t live_total = 0;
+  std::unordered_map<RecordId, std::uint32_t> waiting;  // record -> attached waiters
+  for (const auto& [key, group] : groups_) {
+    state.require(group.live_mask != 0, "empty group not retired");
+    live_total += static_cast<std::size_t>(std::popcount(group.live_mask));
+    for (std::uint32_t idx = 0; idx < kGroupSectors; ++idx) {
+      const SlotMeta& m = group.meta[idx];
+      const disk::Lba lba = key.group * kGroupSectors + idx;
+      if (!slot_live(group, idx)) {
+        state.require(m.version == 0 && m.waiters.empty() && m.cover_pins == 0,
+                      "released slot retains bookkeeping", lba);
+        continue;
+      }
+      state.require(m.version > 0, "live slot without a version", lba);
+      // A slot stays resident only while something holds it: a waiter, a
+      // write-back pin, or content newer than the data disk.
+      if (m.waiters.empty() && m.cover_pins == 0)
+        state.require(m.durable_version < m.version, "slot resident with nothing holding it",
+                      lba);
+      for (const Waiter& w : m.waiters) {
+        ++waiting[w.record];
+        state.require(w.version <= m.version, "waiter version newer than its slot", lba);
+        state.require(w.version > m.durable_version,
+                      "waiter already durable but not released", lba);
+      }
+    }
+  }
+  state.require(live_total == resident_sectors_,
+                "resident-sector count disagrees with the group masks");
+
+  for (const auto& [record, left] : pending_) {
+    if (!pending.require(left > 0, "pending record with zero sectors left")) continue;
+    const auto it = waiting.find(record);
+    pending.require(it != waiting.end() && it->second == left,
+                    "pending record's sectors-left disagrees with its attached waiters");
+  }
+  for (const auto& [record, n] : waiting)
+    pending.require(pending_.contains(record), "waiter references a settled record");
+}
+
+void BufferManager::for_each_resident(
+    const std::function<void(const ResidentInfo&)>& fn) const {
+  for (const auto& [key, group] : groups_) {
+    for (std::uint32_t idx = 0; idx < kGroupSectors; ++idx) {
+      if (!slot_live(group, idx)) continue;
+      const SlotMeta& m = group.meta[idx];
+      fn(ResidentInfo{key.dev, key.group * kGroupSectors + idx, m.version, m.durable_version,
+                      m.cover_pins, m.waiters.size()});
+    }
   }
 }
 

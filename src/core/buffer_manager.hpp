@@ -38,6 +38,10 @@
 #include "disk/types.hpp"
 #include "io/block.hpp"
 
+namespace trail::audit {
+class Report;
+}
+
 namespace trail::core {
 
 using RecordId = std::uint64_t;
@@ -96,6 +100,24 @@ class BufferManager {
   [[nodiscard]] std::size_t pinned_bytes() const { return resident_sectors_ * disk::kSectorSize; }
   [[nodiscard]] std::size_t pinned_bytes_high_water() const { return high_water_; }
   [[nodiscard]] std::size_t pending_records() const { return pending_.size(); }
+
+  // ---- invariant audit (trail::audit) ----
+  /// Internal-consistency audit: "buffer.state" (mask / residency / slot
+  /// bookkeeping) and "buffer.pending" (waiter <-> pending-record
+  /// agreement). Cold path; see DESIGN.md §9.
+  void audit(audit::Report& report) const;
+
+  /// One resident sector's bookkeeping, for cross-layer audits (the
+  /// driver checks durable sectors against the data-disk platters).
+  struct ResidentInfo {
+    std::uint32_t dev_index = 0;  // io::DeviceId::index()
+    disk::Lba lba = 0;
+    std::uint64_t version = 0;
+    std::uint64_t durable_version = 0;
+    std::uint32_t cover_pins = 0;
+    std::size_t waiter_count = 0;
+  };
+  void for_each_resident(const std::function<void(const ResidentInfo&)>& fn) const;
 
  private:
   /// Sectors per group (8 KB — one DB page spans exactly one or two groups).

@@ -40,8 +40,10 @@ class Writer {
   [[nodiscard]] std::size_t pos() const { return pos_; }
 
  private:
+  // Overflow-safe: pos_ <= buf_.size() always holds, so the subtraction
+  // cannot wrap, unlike the naive `pos_ + n > size` form.
   void check(std::size_t n) const {
-    if (pos_ + n > buf_.size()) throw std::length_error("log_format: sector overflow");
+    if (n > buf_.size() - pos_) throw std::length_error("log_format: sector overflow");
   }
   std::span<std::byte> buf_;
   std::size_t pos_ = 0;
@@ -82,7 +84,7 @@ class Reader {
 
  private:
   void check(std::size_t n) const {
-    if (pos_ + n > buf_.size()) throw std::length_error("log_format: sector underflow");
+    if (n > buf_.size() - pos_) throw std::length_error("log_format: sector underflow");
   }
   std::span<const std::byte> buf_;
   std::size_t pos_ = 0;
@@ -93,8 +95,13 @@ void require_sector(std::size_t size) {
 }
 
 // Header-sector CRC convention: the CRC field occupies a fixed offset; it
-// is computed over the whole sector with that field zeroed.
+// is computed over the whole sector with that field zeroed. These helpers
+// copy a full sector, so they must never be handed a short span — the
+// parse_* entry points return nullopt before reaching here, but a direct
+// caller with a truncated buffer would otherwise read past the end.
 std::uint32_t sector_crc_excluding(std::span<const std::byte> sector, std::size_t crc_offset) {
+  if (sector.size() < disk::kSectorSize || crc_offset > disk::kSectorSize - 4)
+    throw std::length_error("log_format: crc window out of bounds");
   std::byte tmp[disk::kSectorSize];
   std::memcpy(tmp, sector.data(), disk::kSectorSize);
   std::memset(tmp + crc_offset, 0, 4);
@@ -107,10 +114,11 @@ void put_crc(std::span<std::byte> sector, std::size_t crc_offset) {
 }
 
 bool check_crc(std::span<const std::byte> sector, std::size_t crc_offset) {
+  const std::uint32_t computed = sector_crc_excluding(sector, crc_offset);  // bounds-checked
   std::uint32_t stored = 0;
   for (int i = 0; i < 4; ++i)
     stored |= static_cast<std::uint32_t>(sector[crc_offset + i]) << (8 * i);
-  return stored == sector_crc_excluding(sector, crc_offset);
+  return stored == computed;
 }
 
 // Byte layout offsets for the disk header sector.

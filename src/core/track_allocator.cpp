@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "audit/check.hpp"
+
 namespace trail::core {
 
 TrackAllocator::TrackAllocator(const disk::Geometry& geometry,
@@ -122,6 +124,29 @@ void TrackAllocator::set_tail(disk::TrackId track) {
   live_.erase(track);  // settled leftover state, if any
   tail_ = track;
   live_.emplace(tail_, TrackState{std::vector<bool>(geometry_.spt_of_track(tail_), false), 0, 0});
+}
+
+void TrackAllocator::audit(audit::Report& report) const {
+  audit::Check& check = report.check("alloc.tracks");
+  check.require(usable_index_.contains(tail_), "tail is not a usable track");
+  check.require(live_.contains(tail_), "tail track has no occupancy state");
+  for (const auto& [track, st] : live_) {
+    const disk::Lba lba = geometry_.first_lba_of_track(track);
+    check.require(!reserved_.contains(track), "reserved track carries live state", lba);
+    if (!check.require(usable_index_.contains(track), "live state on a non-usable track", lba))
+      continue;
+    if (!check.require(st.occupied.size() == geometry_.spt_of_track(track),
+                       "occupancy bitmap size disagrees with the track geometry", lba))
+      continue;
+    const auto used = static_cast<std::uint32_t>(
+        std::count(st.occupied.begin(), st.occupied.end(), true));
+    check.require(used == st.used, "used-sector count disagrees with the occupancy bitmap",
+                  lba);
+    // advance() / release_record() reclaim a settled track the moment it
+    // stops being the tail.
+    check.require(st.live_records > 0 || track == tail_,
+                  "settled non-tail track not reclaimed", lba);
+  }
 }
 
 double TrackAllocator::mean_finished_track_utilization() const {

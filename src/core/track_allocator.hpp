@@ -19,6 +19,10 @@
 #include "disk/geometry.hpp"
 #include "disk/types.hpp"
 
+namespace trail::audit {
+class Report;
+}
+
 namespace trail::core {
 
 class TrackAllocator {
@@ -67,6 +71,17 @@ class TrackAllocator {
 
   [[nodiscard]] bool is_reserved(disk::TrackId track) const { return reserved_.contains(track); }
   [[nodiscard]] std::size_t usable_track_count() const { return usable_.size(); }
+
+  /// Live (uncommitted) records currently accounted to `track`; 0 when
+  /// the track carries no live state. Used by cross-layer audits.
+  [[nodiscard]] std::uint32_t live_records_on(disk::TrackId track) const {
+    const auto it = live_.find(track);
+    return it == live_.end() ? 0 : it->second.live_records;
+  }
+
+  /// Internal-consistency audit ("alloc.tracks"): per-track occupancy
+  /// bookkeeping, reserved/usable discipline, tail state. See DESIGN.md §9.
+  void audit(audit::Report& report) const;
 
   /// Restore a track's state from recovery: mark it live with the given
   /// occupancy and record count (used when recovery re-adopts pending

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "audit/check.hpp"
 #include "io/scheduler.hpp"
 
 namespace trail::core {
@@ -234,6 +236,120 @@ void TrailDriver::mount() {
   position_heads_initial();
   mounted_ = true;
   arm_idle_timer();
+#if defined(TRAIL_AUDIT)
+  quiesce_audit("mount");
+#endif
+}
+
+void TrailDriver::run_audit(audit::Report& report, bool quiescent) const {
+  buffers_->audit(report);
+  for (const LogUnit& u : units_) {
+    u.allocator->audit(report);
+    u.device->store().audit(report);
+  }
+  for (const disk::DiskDevice* d : data_disks_) d->store().audit(report);
+
+  audit::Check& records = report.check("driver.records");
+  audit::Check& xbuf = report.check("driver.buffer_vs_store");
+
+  // Live records: every entry names a real unit/track, its header is on
+  // the platter, and block records are exactly the staging buffer's
+  // pending set (direct records never enter the buffer).
+  std::size_t block_live = 0;
+  std::map<std::pair<std::uint8_t, disk::TrackId>, std::uint32_t> per_track;
+  for (const auto& [key, rec] : live_records_) {
+    if (!records.require(rec.unit < units_.size(), "live record on an unknown log unit"))
+      continue;
+    const LogUnit& u = units_[rec.unit];
+    records.require(!u.allocator->is_reserved(rec.track), "live record on a reserved track",
+                    rec.header_lba);
+    records.require(u.device->geometry().track_of_lba(rec.header_lba) == rec.track,
+                    "live record's header is not on its accounted track", rec.header_lba);
+    records.require(u.device->store().is_written(rec.header_lba),
+                    "live record's header sector never hit the platter", rec.header_lba);
+    if (rec.direct) {
+      records.require(rec.end_cookie > 0, "direct record without an end cookie",
+                      rec.header_lba);
+    } else {
+      ++block_live;
+      records.require(!buffers_->record_settled(key),
+                      "block record live but settled in the staging buffer", rec.header_lba);
+    }
+    ++per_track[{rec.unit, rec.track}];
+  }
+  records.require(block_live == buffers_->pending_records(),
+                  "staging-buffer pending-record count disagrees with the live-record map");
+
+  // Staging buffer vs the data-disk platters: a sector with a durable
+  // version must have been written to its data disk.
+  buffers_->for_each_resident([&](const BufferManager::ResidentInfo& info) {
+    const auto major = static_cast<std::uint8_t>(info.dev_index >> 8);
+    const auto minor = static_cast<std::uint8_t>(info.dev_index & 0xFF);
+    if (!xbuf.require(major == kDataDiskMajor && minor < data_disks_.size(),
+                      "resident sector for an unknown data device", info.lba))
+      return;
+    const disk::DiskDevice& dev = *data_disks_[minor];
+    if (!xbuf.require(info.lba < dev.geometry().total_sectors(),
+                      "resident sector beyond the end of its data disk", info.lba))
+      return;
+    if (info.durable_version > 0)
+      xbuf.require(dev.store().is_written(info.lba),
+                   "sector marked durable but never written to the data disk", info.lba);
+    else
+      xbuf.pass();
+  });
+
+  if (!quiescent) return;
+
+  audit::Check& quiesce = report.check("driver.quiesce");
+  quiesce.require(pending_.empty(), "synchronous writes still queued at a quiesce point");
+  for (const LogUnit& u : units_)
+    quiesce.require(u.inflight.empty(),
+                    "physical log write still in flight at a quiesce point");
+
+  // Allocator live-record accounting vs the driver's record map (valid
+  // only with no physical write between occupy() and record adoption).
+  audit::Check& xalloc = report.check("driver.alloc_records");
+  for (const auto& [ut, count] : per_track) {
+    const LogUnit& u = units_[ut.first];
+    xalloc.require(u.allocator->live_records_on(ut.second) == count,
+                   "allocator live-record count disagrees with the driver's record map",
+                   u.device->geometry().first_lba_of_track(ut.second));
+  }
+
+  // Tail-track occupancy vs the platter: with nothing in flight, every
+  // sector the allocator holds occupied on the appending track was
+  // physically written.
+  audit::Check& occ = report.check("driver.occupancy");
+  for (const LogUnit& u : units_) {
+    const TrackAllocator& alloc = *u.allocator;
+    const disk::TrackId tail = alloc.current();
+    const disk::Lba base = u.device->geometry().first_lba_of_track(tail);
+    const std::uint32_t spt = alloc.current_spt();
+    std::vector<bool> free_sector(spt, false);
+    for (std::uint32_t s = 0; s < spt;) {
+      const auto run = alloc.free_run_from(s);
+      if (!run) break;
+      for (std::uint32_t i = 0; i < run->length; ++i) free_sector[run->first_sector + i] = true;
+      s = run->first_sector + run->length;
+    }
+    for (std::uint32_t s = 0; s < spt; ++s) {
+      if (free_sector[s])
+        occ.pass();
+      else
+        occ.require(u.device->store().is_written(base + s),
+                    "occupied log sector never hit the platter", base + s);
+    }
+  }
+}
+
+void TrailDriver::quiesce_audit(const char* where) const {
+  audit::Report report;
+  run_audit(report, /*quiescent=*/true);
+  if (obs_ != nullptr) report.record_to(obs_->metrics);
+  if (!report.ok())
+    throw std::logic_error(std::string("TrailDriver: invariant audit failed at ") + where +
+                           "\n" + report.to_string());
 }
 
 void TrailDriver::position_heads_initial() {
@@ -261,6 +377,9 @@ void TrailDriver::unmount() {
     return true;
   };
   run_sim_until(drained, "unmount drain");
+#if defined(TRAIL_AUDIT)
+  quiesce_audit("unmount");
+#endif
 
   mounted_ = false;
   if (idle_timer_.valid()) {
@@ -815,6 +934,9 @@ void TrailDriver::drain(Completion cb) {
   *poll = [this, alive, drained, cb = std::move(cb), poll]() mutable {
     if (!*alive) return;
     if (drained()) {
+#if defined(TRAIL_AUDIT)
+      quiesce_audit("drain");
+#endif
       if (cb) cb();
       *poll = nullptr;  // break the self-reference cycle (we run as a copy)
       return;

@@ -184,6 +184,17 @@ class TrailDriver final : public io::BlockDriver {
   /// Pending synchronous writes not yet on a log disk (queue depth).
   [[nodiscard]] std::size_t log_queue_depth() const { return pending_.size(); }
 
+  /// Cross-layer invariant audit (trail::audit, DESIGN.md §9): component
+  /// self-audits (staging buffer, per-unit allocators, every platter)
+  /// plus the driver-level cross-checks — live records vs allocator
+  /// accounting, buffered durable sectors vs the data-disk platters.
+  /// `quiescent` means no synchronous write or physical log write is
+  /// outstanding (post-mount, post-drain, pre-unmount), enabling the
+  /// stricter emptiness and occupancy-vs-platter checks. Always compiled;
+  /// with TRAIL_AUDIT defined it also runs automatically at the driver's
+  /// quiesce points and throws std::logic_error on any error finding.
+  void run_audit(audit::Report& report, bool quiescent = false) const;
+
  private:
   struct PendingWrite {
     io::BlockAddr addr;
@@ -245,6 +256,9 @@ class TrailDriver final : public io::BlockDriver {
   void note_log_queue_depth();
   [[nodiscard]] io::DeviceQueue& data_queue(io::DeviceId dev);
   void run_sim_until(const std::function<bool()>& done, const char* what);
+  /// TRAIL_AUDIT hook: run_audit(quiescent=true), dump counters into the
+  /// attached metrics, throw on errors.
+  void quiesce_audit(const char* where) const;
   void adopt_recovered(std::vector<RecoveredRecord> records);
   [[nodiscard]] std::uint32_t oldest_live_ptr_or(std::uint32_t fallback) const;
 

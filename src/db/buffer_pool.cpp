@@ -1,6 +1,9 @@
 #include "db/buffer_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "audit/check.hpp"
 
 namespace trail::db {
 
@@ -210,6 +213,28 @@ void BufferPool::reset() {
   alive_ = std::make_shared<bool>(true);
   frames_.clear();
   lru_.clear();
+}
+
+void BufferPool::audit(audit::Report& report, bool quiescent) const {
+  audit::Check& check = report.check("pool.frames");
+  check.require(lru_.size() == frames_.size(), "LRU list and frame map disagree in size");
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const auto fit = frames_.find(*it);
+    if (!check.require(fit != frames_.end(), "LRU entry without a frame")) continue;
+    check.require(fit->second->lru_pos == it, "frame's LRU position points elsewhere");
+  }
+  for (const auto& [key, frame] : frames_) {
+    if (frame->dirty && wal_ != nullptr)
+      check.require(frame->flush_lsn <= wal_->next_lsn(),
+                    "dirty frame's WAL flush LSN beyond the append point");
+    if (!frame->loading)
+      check.require(frame->waiters.empty(), "fetch waiters on a frame that is not loading");
+    if (quiescent) {
+      check.require(frame->pins == 0, "pinned frame at a quiesce point");
+      check.require(!frame->loading && !frame->flushing,
+                    "frame I/O still in flight at a quiesce point");
+    }
+  }
 }
 
 std::size_t BufferPool::dirty_pages() const {

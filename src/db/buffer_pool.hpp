@@ -25,6 +25,10 @@
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
+namespace trail::audit {
+class Report;
+}
+
 namespace trail::db {
 
 struct BufferPoolStats {
@@ -65,6 +69,12 @@ class BufferPool {
 
   /// Drop every frame (boot / after offline recovery rewrote the disk).
   void reset();
+
+  /// Invariant audit ("pool.frames"): LRU <-> frame-map agreement, frame
+  /// sizing, WAL-rule flush LSNs. With `quiescent` (post-checkpoint, no
+  /// transaction active) additionally requires zero pins and no frame
+  /// mid-load/mid-flush. See DESIGN.md §9.
+  void audit(audit::Report& report, bool quiescent = false) const;
 
   [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t resident_pages() const { return frames_.size(); }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "audit/check.hpp"
 #include "core/crc32.hpp"
 #include "db/chain.hpp"
 
@@ -339,6 +340,9 @@ void Database::checkpoint(std::function<void()> done) {
           last_checkpoint_lsn_ = replay_from;
           wal_->set_truncate_point(replay_from);
           checkpoint_running_ = false;
+#if defined(TRAIL_AUDIT)
+          quiesce_audit("checkpoint");
+#endif
           if (*done_shared) (*done_shared)();
         });
       });
@@ -486,7 +490,33 @@ Database::RecoveryReport Database::recover() {
             static_cast<std::ptrdiff_t>(log_end - start_sector * disk::kSectorSize));
     wal_->restore(log_end, std::move(tail));
   }
+#if defined(TRAIL_AUDIT)
+  quiesce_audit("recover");
+#endif
   return report;
+}
+
+void Database::run_audit(audit::Report& report, bool quiescent) const {
+  // A fuzzy checkpoint can complete while transactions are active; the
+  // strict quiescent state only holds once none are.
+  const bool idle = quiescent && active_txns_.empty();
+  wal_->audit(report, idle);
+  pool_->audit(report, idle);
+  audit::Check& check = report.check("db.txns");
+  for (const auto& [id, txn] : active_txns_) {
+    check.require(txn->active_, "inactive transaction still registered");
+    check.require(txn->id_ == id, "transaction id disagrees with its registry key");
+  }
+  check.require(last_checkpoint_lsn_ <= wal_->durable_lsn(),
+                "checkpoint LSN beyond WAL durability");
+}
+
+void Database::quiesce_audit(const char* where) const {
+  audit::Report report;
+  run_audit(report, /*quiescent=*/true);
+  if (!report.ok())
+    throw std::logic_error(std::string("Database: invariant audit failed at ") + where +
+                           "\n" + report.to_string());
 }
 
 }  // namespace trail::db

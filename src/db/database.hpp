@@ -162,6 +162,14 @@ class Database {
   };
   RecoveryReport recover();
 
+  /// Invariant audit (trail::audit, DESIGN.md §9): WAL sequence, buffer-
+  /// pool frame bookkeeping, transaction registry. `quiescent` asserts
+  /// the post-checkpoint state — everything durable, no flush in flight,
+  /// and (when no transaction is active) zero pins. With TRAIL_AUDIT
+  /// defined it runs automatically after checkpoint() and recover() and
+  /// throws std::logic_error on any error finding.
+  void run_audit(audit::Report& report, bool quiescent = false) const;
+
   [[nodiscard]] LogManager& wal() { return *wal_; }
   [[nodiscard]] io::BlockDriver& driver() { return driver_; }
   /// The offline DiskDevice attached for `id`, or nullptr.
@@ -181,6 +189,8 @@ class Database {
   void release(Txn& txn);
   void maybe_auto_checkpoint();
   void write_meta(Lsn checkpoint_lsn, std::function<void()> done);
+  /// TRAIL_AUDIT hook: run_audit(quiescent=true), throw on errors.
+  void quiesce_audit(const char* where) const;
   [[nodiscard]] std::optional<Lsn> read_meta_offline() const;
 
   static constexpr std::uint32_t kMetaSectors = kSectorsPerPage;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "audit/check.hpp"
 #include "core/crc32.hpp"
 
 namespace trail::db {
@@ -303,6 +304,35 @@ void LogManager::restore(Lsn lsn, std::vector<std::byte> tail) {
   buffer_base_ = tail_base;
   flush_in_flight_ = false;
   waiters_.clear();
+}
+
+void LogManager::audit(audit::Report& report, bool quiescent) const {
+  audit::Check& check = report.check("wal.sequence");
+  check.require(durable_lsn_ <= next_lsn_, "durable LSN ahead of the append point");
+  check.require(truncate_lsn_ <= durable_lsn_, "truncate point ahead of durability");
+  check.require(buffer_base_ <= durable_lsn_,
+                "buffered bytes start beyond the durable point");
+  check.require(buffer_.size() == next_lsn_ - buffer_base_,
+                "buffer size disagrees with its LSN span");
+  if (flush_in_flight_)
+    check.require(durable_lsn_ <= flush_target_ && flush_target_ <= next_lsn_,
+                  "in-flight flush target outside (durable, next]");
+  Lsn prev_target = 0;
+  for (const Waiter& w : waiters_) {
+    // complete_waiters() pops in order, so targets are FIFO-monotone and
+    // nothing already-durable may linger.
+    check.require(w.target > durable_lsn_, "waiter for an already-durable LSN");
+    check.require(w.target <= next_lsn_, "waiter beyond the append point");
+    check.require(w.target >= prev_target, "waiter targets out of FIFO order");
+    prev_target = w.target;
+  }
+  if (quiescent) {
+    check.require(!flush_in_flight_, "flush still in flight at a quiesce point");
+    check.require(waiters_.empty(), "commit waiters pending at a quiesce point");
+    check.require(durable_lsn_ == next_lsn_, "undurable log bytes at a quiesce point");
+    check.require(deferred_commits_.empty(),
+                  "deferred group commits unaccounted at a quiesce point");
+  }
 }
 
 void LogManager::complete_waiters() {

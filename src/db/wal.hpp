@@ -36,6 +36,10 @@
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
+namespace trail::audit {
+class Report;
+}
+
 namespace trail::db {
 
 enum class WalRecordType : std::uint8_t {
@@ -152,6 +156,13 @@ class LogManager {
     if (direct_release_) direct_release_(lsn);
   }
   [[nodiscard]] Lsn truncate_point() const { return truncate_lsn_; }
+
+  /// Invariant audit ("wal.sequence"): LSN ordering
+  /// (truncate <= durable <= next), buffer span agreement, flush/waiter
+  /// targets in range. With `quiescent` (checkpoint / shutdown: no flush
+  /// may be in flight) additionally requires everything durable and no
+  /// waiters. See DESIGN.md §9.
+  void audit(audit::Report& report, bool quiescent = false) const;
 
   // ---- serialization (shared with recovery) ----
   static std::vector<std::byte> encode(const WalRecord& record);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "audit/check.hpp"
+
 namespace trail::disk {
 
 void SectorStore::check_range(Lba lba, std::uint32_t count) const {
@@ -61,6 +63,39 @@ void SectorStore::write(Lba lba, std::uint32_t count, std::span<const std::byte>
     src += bytes;
     cur += run;
     left -= run;
+  }
+}
+
+void SectorStore::audit(audit::Report& report) const {
+  audit::Check& check = report.check("store.chunks");
+  const std::uint64_t chunk_count = (total_sectors_ + kChunkSectors - 1) / kChunkSectors;
+  std::size_t written = 0;
+  for (const auto& [index, chunk] : chunks_) {
+    check.require(index < chunk_count, "chunk index beyond end of disk",
+                  index * kChunkSectors);
+    std::size_t bits = 0;
+    for (const std::uint64_t word : chunk.written)
+      bits += static_cast<std::size_t>(std::popcount(word));
+    written += bits;
+    // The final chunk of a disk whose size is not a multiple of 256 must
+    // not mark out-of-range sectors written.
+    if (index == chunk_count - 1 && total_sectors_ % kChunkSectors != 0) {
+      const std::uint32_t valid = static_cast<std::uint32_t>(total_sectors_ % kChunkSectors);
+      bool tail_clear = true;
+      for (std::uint32_t bit = valid; bit < kChunkSectors; ++bit)
+        if ((chunk.written[bit / 64] >> (bit % 64)) & 1) tail_clear = false;
+      check.require(tail_clear, "written bits beyond end of disk in the final chunk",
+                    index * kChunkSectors + valid);
+    }
+  }
+  check.require(written == written_count_,
+                "written-sector count disagrees with the chunk bitmaps");
+  if (cached_index_ != kNoChunk) {
+    const auto it = chunks_.find(cached_index_);
+    check.require(it != chunks_.end() && &it->second == cached_chunk_,
+                  "chunk cache points at a stale entry");
+  } else {
+    check.pass();
   }
 }
 

@@ -20,6 +20,10 @@
 
 #include "disk/types.hpp"
 
+namespace trail::audit {
+class Report;
+}
+
 namespace trail::disk {
 
 class SectorStore {
@@ -52,6 +56,11 @@ class SectorStore {
   /// Bytes of backing memory currently allocated for chunk payloads
   /// (observability: wipe() must return this to zero).
   [[nodiscard]] std::size_t allocated_bytes() const { return chunks_.size() * sizeof(Chunk); }
+
+  /// Internal-consistency audit ("store.chunks"): chunk index bounds,
+  /// written-count vs bitmap popcounts, chunk-cache coherence. Cold path
+  /// used by trail::audit quiesce checks; see DESIGN.md §9.
+  void audit(audit::Report& report) const;
 
   /// Reset every sector back to zeroes (reformat); reclaims all chunks.
   void wipe() {

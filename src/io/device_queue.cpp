@@ -73,7 +73,13 @@ void DeviceQueue::pump() {
       update_depth();
       if (cb) cb();
       pump();
-      if (idle() && on_idle_) on_idle_();
+      if (idle() && on_idle_) {
+        // Copy before invoking: the callback may replace or clear
+        // on_idle_ (StandardDriver::drain disarms every queue), which
+        // would destroy the std::function mid-execution.
+        const auto notify = on_idle_;
+        notify();
+      }
     };
     if (io.is_write) {
       if (io.materialize) io.data = io.materialize();

@@ -60,8 +60,12 @@ void StandardDriver::drain(Completion cb) {
     q->set_idle_callback([this, all_idle, fired, cb_shared] {
       if (*fired || !all_idle()) return;
       *fired = true;
+      // Keep the completion alive on the stack: disarming the queues
+      // below destroys this very lambda (we are one of the idle
+      // callbacks), so captures must not be touched afterwards.
+      const auto cb_local = cb_shared;
       for (auto& qq : queues_) qq->set_idle_callback({});
-      if (*cb_shared) (*cb_shared)();
+      if (*cb_local) (*cb_local)();
     });
   }
 }

@@ -65,6 +65,9 @@ BenchResult Driver::run_internal(std::uint64_t total_txns, bool record) {
   while (completed < total_txns) {
     if (!sim.step()) throw std::runtime_error("TPC-C driver: simulation stalled");
   }
+  // The go lambdas capture `clients`, so the vector would keep itself
+  // alive through the cycle; sever it now that every client is done.
+  for (auto& c : *clients) c.go = nullptr;
   result.wall = sim.now() - start;
   return result;
 }

@@ -1,0 +1,432 @@
+// trail::audit tests: the Check/Report substrate, the offline log
+// verifier (fsck.trail) against clean and deliberately corrupted images,
+// the hardened log_format bounds checks, and the runtime quiesce-point
+// audits on the driver and the database engine.
+//
+// The corruption table bit-flips every §3.2 header field class — magic
+// byte, signature, epoch, prev_sect, log_head, entry array, payload — and
+// asserts both that verify_log attributes the damage to the right check
+// and that LogScanner/recovery reject the image cleanly (a thrown
+// std::runtime_error or a reduced record count; never silent adoption).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+
+#include "audit/check.hpp"
+#include "audit/log_verifier.hpp"
+#include "core/log_format.hpp"
+#include "core/log_scanner.hpp"
+#include "db/database.hpp"
+#include "io/standard_driver.hpp"
+#include "trail_fixture.hpp"
+
+namespace trail::testing {
+namespace {
+
+using audit::Finding;
+using audit::Report;
+using audit::Severity;
+using audit::VerifyOptions;
+
+// ---------------------------------------------------------------- Check
+
+TEST(AuditCheck, CountsAndFindings) {
+  Report report;
+  audit::Check& c = report.check("demo");
+  c.pass(3);
+  c.fail("broken", 17);
+  c.fail("iffy", Finding::kNoLba, Severity::kWarning);
+  EXPECT_TRUE(c.require(true, "holds"));
+  EXPECT_FALSE(c.require(false, "does not hold", 4));
+
+  EXPECT_EQ(c.passes(), 4u);
+  EXPECT_EQ(c.errors(), 2u);
+  EXPECT_EQ(c.warnings(), 1u);
+  EXPECT_FALSE(c.ok());
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.total_errors(), 2u);
+  EXPECT_EQ(report.total_warnings(), 1u);
+  ASSERT_EQ(c.findings().size(), 3u);
+  EXPECT_EQ(c.findings()[0].lba, 17u);
+
+  const std::string dump = report.to_string();
+  EXPECT_NE(dump.find("demo: FAIL"), std::string::npos);
+  EXPECT_NE(dump.find("@lba 17"), std::string::npos);
+  // Same-named check resolves to the same instance.
+  EXPECT_EQ(&report.check("demo"), &c);
+}
+
+TEST(AuditCheck, FindingStorageIsBounded) {
+  Report report;
+  audit::Check& c = report.check("flood");
+  for (int i = 0; i < 100; ++i) c.fail("finding", static_cast<std::uint64_t>(i));
+  EXPECT_EQ(c.errors(), 100u);
+  EXPECT_EQ(c.findings().size(), audit::Check::kMaxStoredFindings);
+  EXPECT_NE(report.to_string().find("further findings not stored"), std::string::npos);
+}
+
+TEST(AuditCheck, RecordsToMetrics) {
+  Report report;
+  report.check("x").pass(5);
+  report.check("x").fail("bad");
+  obs::MetricsRegistry metrics;
+  report.record_to(metrics);
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("audit.x.pass"), std::string::npos);
+  EXPECT_NE(json.find("audit.x.fail"), std::string::npos);
+}
+
+// ------------------------------------------- log_format bounds hardening
+
+TEST(LogFormatBounds, SerializersRejectShortSectors) {
+  std::vector<std::byte> shorty(disk::kSectorSize - 1);
+  EXPECT_THROW(core::serialize_disk_header({1, 1, 0}, shorty), std::invalid_argument);
+
+  const disk::DiskProfile p = disk::small_test_disk();
+  EXPECT_THROW(core::serialize_geometry(p.geometry, p.rpm, shorty), std::invalid_argument);
+
+  core::RecordHeader hdr;
+  hdr.batch_size = 1;
+  hdr.entries.resize(1);
+  hdr.entries[0].log_lba = 10;
+  EXPECT_THROW(core::serialize_record_header(hdr, shorty), std::invalid_argument);
+
+  EXPECT_THROW((void)core::escape_payload_sector(shorty), std::invalid_argument);
+  EXPECT_THROW(core::unescape_payload_sector(shorty, 0x42), std::invalid_argument);
+}
+
+TEST(LogFormatBounds, ParsersRejectShortSectors) {
+  // A truncated buffer must yield nullopt, not an out-of-bounds read of
+  // the CRC window (the regression this guards: sector_crc_excluding
+  // copied a full sector unconditionally).
+  disk::SectorBuf full{};
+  core::serialize_disk_header({3, 0, 7}, full);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, disk::kSectorSize - 1}) {
+    const std::span<const std::byte> shorty(full.data(), n);
+    EXPECT_FALSE(core::parse_disk_header(shorty).has_value()) << n;
+    EXPECT_FALSE(core::parse_record_header(shorty).has_value()) << n;
+    EXPECT_FALSE(core::parse_geometry(shorty).has_value()) << n;
+  }
+}
+
+// ---------------------------------------------------- offline verifier
+
+class AuditVerifierTest : public TrailFixture {
+ protected:
+  static constexpr int kRecords = 5;
+
+  AuditVerifierTest() : TrailFixture(2) {}
+
+  /// Run kRecords writes in epoch 1, crash with them pending, and return
+  /// the scanned records sorted oldest -> youngest.
+  auto prepare_crashed_log() {
+    start();
+    for (auto& d : data_disks) d->crash_halt();
+    for (int i = 0; i < kRecords; ++i)
+      write_sync({devices[0], static_cast<disk::Lba>(i * 4)}, make_pattern(2, i));
+    driver->crash();
+    driver.reset();
+    const core::LogScanner scanner(*log_disk);
+    auto records = scanner.records_of_epoch(1);
+    EXPECT_EQ(records.size(), static_cast<std::size_t>(kRecords));
+    return records;
+  }
+
+  /// Raw bit-flip inside the sector at `lba`.
+  void flip(disk::Lba lba, std::size_t offset, std::byte mask) {
+    disk::SectorBuf sector{};
+    log_disk->store().read(lba, 1, sector);
+    sector[offset] ^= mask;
+    log_disk->store().write(lba, 1, sector);
+  }
+
+  /// Parse the record header at `lba`, mutate a field, and write it back
+  /// re-serialized (header CRC valid again: the corruption is semantic).
+  void reserialize(disk::Lba lba, const std::function<void(core::RecordHeader&)>& fn) {
+    disk::SectorBuf sector{};
+    log_disk->store().read(lba, 1, sector);
+    auto hdr = core::parse_record_header(sector);
+    ASSERT_TRUE(hdr.has_value());
+    fn(*hdr);
+    core::serialize_record_header(*hdr, sector);
+    log_disk->store().write(lba, 1, sector);
+  }
+
+  /// The image must scan without throwing, whatever state it is in.
+  void expect_scanner_survives() {
+    const core::LogScanner scanner(*log_disk);
+    EXPECT_NO_THROW((void)scanner.scan());
+  }
+
+  /// Reboot + mount. Returns the recovered record count, or nullopt if
+  /// recovery rejected the image with std::runtime_error.
+  std::optional<std::uint32_t> remount_records() {
+    log_disk->restart();
+    for (auto& d : data_disks) d->restart();
+    auto fresh = std::make_unique<core::TrailDriver>(sim, *log_disk);
+    for (auto& d : data_disks) (void)fresh->add_data_disk(*d);
+    try {
+      fresh->mount();
+    } catch (const std::runtime_error&) {
+      return std::nullopt;
+    }
+    const std::uint32_t found = fresh->last_recovery().records_found;
+    fresh->unmount();
+    return found;
+  }
+};
+
+TEST_F(AuditVerifierTest, FreshFormatIsClean) {
+  const Report report = audit::verify_log(*log_disk);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.total_warnings(), 0u) << report.to_string();
+}
+
+TEST_F(AuditVerifierTest, CrashedImageHasNoErrors) {
+  prepare_crashed_log();
+  const Report report = audit::verify_log(*log_disk);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(AuditVerifierTest, CleanUnmountedImageIsClean) {
+  start();
+  for (int i = 0; i < 4; ++i)
+    write_sync({devices[1], static_cast<disk::Lba>(i * 8)}, make_pattern(2, 40 + i));
+  settle();
+  driver->unmount();
+  driver.reset();
+  const Report report = audit::verify_log(*log_disk);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(AuditVerifierTest, UnformattedImageFailsHeaderCheck) {
+  disk::DiskDevice raw(sim, disk::small_test_disk());
+  Report report = audit::verify_log(raw);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.check("log.disk_header").errors(), 0u);
+}
+
+// ---- the corruption table: one §3.2 header field class per test ----
+
+TEST_F(AuditVerifierTest, CorruptMagicByteDetected) {
+  const auto records = prepare_crashed_log();
+  flip(records[2].header_lba, 0, std::byte{0xA5});  // 0xFF -> 0x5A
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.sector_classes").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  // The chain from the youngest runs into the destroyed header.
+  EXPECT_EQ(remount_records(), std::nullopt);
+}
+
+TEST_F(AuditVerifierTest, CorruptSignatureDetected) {
+  const auto records = prepare_crashed_log();
+  flip(records[2].header_lba, 3, std::byte{0xFF});  // signature byte
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.sector_classes").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  EXPECT_EQ(remount_records(), std::nullopt);
+}
+
+TEST_F(AuditVerifierTest, CorruptEpochDetected) {
+  const auto records = prepare_crashed_log();
+  reserialize(records[2].header_lba,
+              [](core::RecordHeader& h) { h.epoch += 7; });
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.chain").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  // The walk from the youngest epoch-1 record meets an epoch-8 header.
+  EXPECT_EQ(remount_records(), std::nullopt);
+}
+
+TEST_F(AuditVerifierTest, CorruptPrevSectDetected) {
+  const auto records = prepare_crashed_log();
+  const auto unwritten =
+      static_cast<std::uint32_t>(log_disk->geometry().total_sectors() - 5);
+  reserialize(records.back().header_lba,
+              [&](core::RecordHeader& h) { h.prev_sect = core::encode_log_ptr(0, unwritten); });
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.chain").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  EXPECT_EQ(remount_records(), std::nullopt);
+}
+
+TEST_F(AuditVerifierTest, CorruptLogHeadDetected) {
+  const auto records = prepare_crashed_log();
+  const auto unwritten =
+      static_cast<std::uint32_t>(log_disk->geometry().total_sectors() - 5);
+  reserialize(records.back().header_lba,
+              [&](core::RecordHeader& h) { h.log_head = core::encode_log_ptr(0, unwritten); });
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.chain").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  // Recovery walks to the prev_sect sentinel and stops: it still finds
+  // every record, it just could not use the bound. Legal, if untidy.
+  const auto found = remount_records();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, static_cast<std::uint32_t>(kRecords));
+}
+
+TEST_F(AuditVerifierTest, CorruptEntryArrayDetected) {
+  const auto records = prepare_crashed_log();
+  reserialize(records[2].header_lba,
+              [](core::RecordHeader& h) { h.entries[1].log_lba += 1; });
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.record_entries").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  // Replay applies payload bytes it already read contiguously, so the
+  // poisoned pointer array does not break recovery itself.
+  const auto found = remount_records();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, static_cast<std::uint32_t>(kRecords));
+}
+
+TEST_F(AuditVerifierTest, CorruptChainPayloadDetected) {
+  const auto records = prepare_crashed_log();
+  flip(records[2].header_lba + 1, 100, std::byte{0x01});  // on-chain payload
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.payload_crc").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  // A torn record below an intact one is impossible in a legal crash.
+  EXPECT_EQ(remount_records(), std::nullopt);
+}
+
+TEST_F(AuditVerifierTest, TornTailIsLegalButReportable) {
+  const auto records = prepare_crashed_log();
+  flip(records.back().header_lba + 1, 64, std::byte{0x80});  // youngest payload
+
+  Report lenient = audit::verify_log(*log_disk);
+  EXPECT_TRUE(lenient.ok()) << lenient.to_string();
+  EXPECT_GT(lenient.check("log.payload_crc").warnings(), 0u);
+
+  VerifyOptions strict;
+  strict.allow_torn_tail = false;
+  Report hard = audit::verify_log(*log_disk, strict);
+  EXPECT_GT(hard.check("log.payload_crc").errors(), 0u);
+
+  // Recovery drops the torn youngest and keeps the rest.
+  const auto found = remount_records();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, static_cast<std::uint32_t>(kRecords - 1));
+}
+
+TEST_F(AuditVerifierTest, DuplicateRecordKeyDetected) {
+  const auto records = prepare_crashed_log();
+  const std::uint32_t newest_seq = records.back().header.sequence_id;
+  reserialize(records[2].header_lba,
+              [&](core::RecordHeader& h) { h.sequence_id = newest_seq; });
+
+  Report report = audit::verify_log(*log_disk);
+  EXPECT_GT(report.check("log.record_keys").errors(), 0u) << report.to_string();
+  expect_scanner_survives();
+  // Depending on which duplicate the locator anchors on, recovery either
+  // trips the key-monotonicity guard or truncates the chain early; it
+  // must never adopt all records as if the image were healthy.
+  const auto found = remount_records();
+  if (found.has_value()) {
+    EXPECT_LT(*found, static_cast<std::uint32_t>(kRecords));
+  }
+}
+
+// ------------------------------------------------------ runtime audits
+
+class AuditRuntimeTest : public TrailFixture {
+ protected:
+  AuditRuntimeTest() : TrailFixture(2) {}
+};
+
+TEST_F(AuditRuntimeTest, DriverAuditCleanAfterMount) {
+  start();
+  Report report;
+  driver->run_audit(report, /*quiescent=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(AuditRuntimeTest, DriverAuditCleanDuringAndAfterTraffic) {
+  start();
+  for (int i = 0; i < 8; ++i)
+    write_sync({devices[i % 2], static_cast<disk::Lba>(i * 4)}, make_pattern(2, i));
+  Report busy;
+  driver->run_audit(busy, /*quiescent=*/false);
+  EXPECT_TRUE(busy.ok()) << busy.to_string();
+
+  settle();
+  Report quiet;
+  driver->run_audit(quiet, /*quiescent=*/true);
+  EXPECT_TRUE(quiet.ok()) << quiet.to_string();
+  EXPECT_GT(quiet.check("store.chunks").passes(), 0u);
+  EXPECT_GT(quiet.check("buffer.state").passes(), 0u);
+}
+
+TEST_F(AuditRuntimeTest, DriverAuditCleanAfterRecovery) {
+  start();
+  for (auto& d : data_disks) d->crash_halt();
+  for (int i = 0; i < 4; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(i * 4)}, make_pattern(2, i));
+  crash_and_remount();
+  Report report;
+  driver->run_audit(report, /*quiescent=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  verify_all_acknowledged_durable();
+}
+
+TEST(AuditDatabase, EngineAuditCleanAroundCheckpoint) {
+  sim::Simulator sim;
+  io::StandardDriver driver;
+  disk::DiskDevice log_dev(sim, disk::small_test_disk());
+  disk::DiskDevice data_dev(sim, disk::small_test_disk());
+  const io::DeviceId log_id = driver.add_device(log_dev);
+  const io::DeviceId data_id = driver.add_device(data_dev);
+
+  db::DbConfig cfg;
+  cfg.buffer_pool_pages = 8;
+  cfg.log_region_sectors = 512;
+  cfg.checkpoint_every_bytes = 0;
+  db::Database db(sim, driver, log_id, cfg);
+  db.attach_device(log_id, log_dev);
+  db.attach_device(data_id, data_dev);
+  const db::TableId items = db.create_table("items", 64, 200, data_id);
+
+  auto pump = [&](const bool& flag) {
+    while (!flag) ASSERT_TRUE(sim.step()) << "simulation stalled";
+  };
+  for (int i = 0; i < 10; ++i) {
+    db::Txn& txn = db.begin();
+    db::RowBuf row(64, std::byte(static_cast<std::uint8_t>(i)));
+    bool put = false;
+    txn.update(items, static_cast<db::Key>(i), row, [&](bool ok) {
+      ASSERT_TRUE(ok);
+      put = true;
+    });
+    pump(put);
+    bool committed = false;
+    db.commit(txn, [&](bool ok) {
+      ASSERT_TRUE(ok);
+      committed = true;
+    });
+    pump(committed);
+
+    Report mid;
+    db.run_audit(mid, /*quiescent=*/false);
+    EXPECT_TRUE(mid.ok()) << mid.to_string();
+  }
+
+  bool checked = false;
+  db.checkpoint([&] { checked = true; });
+  pump(checked);
+  Report report;
+  db.run_audit(report, /*quiescent=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.check("wal.sequence").passes(), 0u);
+  EXPECT_GT(report.check("pool.frames").passes(), 0u);
+}
+
+}  // namespace
+}  // namespace trail::testing

@@ -132,7 +132,9 @@ TEST_F(BTreeTest, RandomInsertMatchesReferenceMap) {
     const auto it = reference.find(k);
     const auto [found, v] = find_sync(k);
     EXPECT_EQ(found, it != reference.end()) << k;
-    if (found) EXPECT_EQ(v, it->second) << k;
+    if (found) {
+      EXPECT_EQ(v, it->second) << k;
+    }
   }
   // Full scan in order.
   const auto scanned = scan_sync(0, ~0ull);

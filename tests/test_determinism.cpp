@@ -73,8 +73,9 @@ RunResult run_workload(std::uint64_t seed) {
     st->rng = seeder.split();
     st->next = [st, &sim, &driver, dev_a, dev_b, sectors, &remaining] {
       if (st->issued >= kWritesPerProcess) {
-        st->next = nullptr;
         --remaining;
+        const auto self = st;  // clearing next destroys this very lambda
+        self->next = nullptr;
         return;
       }
       ++st->issued;

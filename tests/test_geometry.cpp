@@ -27,7 +27,7 @@ TEST(Geometry, SptPerZone) {
   EXPECT_EQ(g.spt_of_cylinder(3), 10u);
   EXPECT_EQ(g.spt_of_cylinder(4), 8u);
   EXPECT_EQ(g.spt_of_cylinder(7), 8u);
-  EXPECT_THROW(g.spt_of_cylinder(8), std::out_of_range);
+  EXPECT_THROW((void)g.spt_of_cylinder(8), std::out_of_range);
 }
 
 TEST(Geometry, LbaZeroIsOrigin) {
@@ -56,10 +56,10 @@ TEST(Geometry, RoundTripAllSectors) {
 
 TEST(Geometry, OutOfRangeThrows) {
   const Geometry g = small();
-  EXPECT_THROW(g.to_chs(g.total_sectors()), std::out_of_range);
-  EXPECT_THROW(g.to_lba(Chs{0, 2, 0}), std::out_of_range);
-  EXPECT_THROW(g.to_lba(Chs{0, 0, 10}), std::out_of_range);
-  EXPECT_THROW(g.to_lba(Chs{8, 0, 0}), std::out_of_range);
+  EXPECT_THROW((void)g.to_chs(g.total_sectors()), std::out_of_range);
+  EXPECT_THROW((void)g.to_lba(Chs{0, 2, 0}), std::out_of_range);
+  EXPECT_THROW((void)g.to_lba(Chs{0, 0, 10}), std::out_of_range);
+  EXPECT_THROW((void)g.to_lba(Chs{8, 0, 0}), std::out_of_range);
 }
 
 TEST(Geometry, TrackHelpers) {
@@ -155,7 +155,9 @@ TEST_P(GeometryProfileTest, TrackFirstLbaConsistent) {
         static_cast<TrackId>(rng.uniform(0, static_cast<std::int64_t>(g.track_count()) - 1));
     const Lba first = g.first_lba_of_track(t);
     EXPECT_EQ(g.track_of_lba(first), t);
-    if (first > 0) EXPECT_EQ(g.track_of_lba(first - 1), t - 1);
+    if (first > 0) {
+      EXPECT_EQ(g.track_of_lba(first - 1), t - 1);
+    }
   }
 }
 

@@ -31,7 +31,7 @@ class HeadPredictorTest : public ::testing::Test {
 
 TEST_F(HeadPredictorTest, ThrowsWithoutReference) {
   EXPECT_FALSE(predictor.has_reference());
-  EXPECT_THROW(predictor.angle_at(sim.now()), std::logic_error);
+  EXPECT_THROW((void)predictor.angle_at(sim.now()), std::logic_error);
 }
 
 TEST_F(HeadPredictorTest, ReferenceAngleMatchesDevice) {

@@ -117,8 +117,11 @@ TEST_F(LogScannerTest, UtilizationMatchesAllocatorAccounting) {
   for (double u : report.track_utilization)
     if (u > 0) ++touched;
   EXPECT_EQ(touched, 6) << "one record per track at threshold 0";
-  for (double u : report.track_utilization)
-    if (u > 0) EXPECT_NEAR(u, 5.0 / 20.0, 0.08);  // 1 hdr + 4 payload on ~16-24 spt
+  for (double u : report.track_utilization) {
+    if (u > 0) {
+      EXPECT_NEAR(u, 5.0 / 20.0, 0.08);  // 1 hdr + 4 payload on ~16-24 spt
+    }
+  }
 }
 
 }  // namespace

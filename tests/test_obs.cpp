@@ -231,6 +231,7 @@ ObsRun run_instrumented(std::uint64_t seed) {
   while (!done) {
     if (!sim.step()) throw std::runtime_error("obs workload stalled");
   }
+  st->next = {};  // break the st <-> next shared_ptr cycle
   bool drained = false;
   driver.drain([&] { drained = true; });
   while (!drained) {

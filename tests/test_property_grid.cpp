@@ -58,11 +58,17 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Bool(),                    // recovery write-back
                        ::testing::Values(1, 9)),             // pending records
     [](const ::testing::TestParamInfo<ConfigParams>& info) {
-      // (no structured bindings: the [] commas would split the macro args)
-      return "t" + std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) + "_m" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_wb" : "_adopt") + "_p" +
-             std::to_string(std::get<3>(info.param));
+      // (no structured bindings: the [] commas would split the macro args;
+      //  built with += because the chained operator+ form trips GCC 12's
+      //  -Wrestrict false positive at -O3, gcc PR105329)
+      std::string name = "t";
+      name += std::to_string(static_cast<int>(std::get<0>(info.param) * 100));
+      name += "_m";
+      name += std::to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) ? "_wb" : "_adopt";
+      name += "_p";
+      name += std::to_string(std::get<3>(info.param));
+      return name;
     });
 
 // ---------------------------------------------------------------------------

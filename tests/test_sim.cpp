@@ -269,8 +269,8 @@ TEST(Summary, BasicStatistics) {
 
 TEST(Summary, ThrowsOnEmpty) {
   Summary s;
-  EXPECT_THROW(s.mean(), std::logic_error);
-  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
 }
 
 TEST(Summary, PercentileNearestRankEdgeCases) {
@@ -288,7 +288,8 @@ TEST(Summary, PercentileNearestRankEdgeCases) {
   EXPECT_DOUBLE_EQ(s.percentile(26), 20.0);
   EXPECT_DOUBLE_EQ(s.percentile(75), 30.0);
   EXPECT_DOUBLE_EQ(s.percentile(76), 40.0);
-  EXPECT_THROW(s.percentile(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(Summary, PercentileSingleSample) {
