@@ -315,6 +315,64 @@ void BM_TrailSyncWriteCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_TrailSyncWriteCycle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// The batched write-back path end-to-end: a burst of adjacent
+// single-sector writes whose write-backs pile up behind the data disk and
+// coalesce in-queue into few CSCAN-ordered device commands, run through
+// full drain. Arg = TrailConfig::max_writeback_ranges (1 = coalescing
+// off, i.e. one device command per record run; 32 = the default batched
+// path). The counters expose the dispatch granularity directly:
+// wb_commands per burst and the mean coalesced ranges per command.
+void BM_WritebackCoalesce(benchmark::State& state) {
+  const auto cap = static_cast<std::uint32_t>(state.range(0));
+  constexpr int kWrites = 256;
+  double commands = 0.0, coalesce = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    disk::DiskDevice log_disk(simulator, disk::small_test_disk());
+    disk::DiskDevice data_disk(simulator, disk::small_test_disk());
+    core::format_log_disk(log_disk);
+    core::TrailConfig config;
+    config.max_writeback_ranges = cap;
+    core::TrailDriver driver(simulator, log_disk, config);
+    const io::DeviceId dev = driver.add_data_disk(data_disk);
+    driver.mount();
+    std::vector<std::byte> payload(disk::kSectorSize, std::byte{0x5A});
+    int issued = 0;
+    std::function<void()> next;
+    next = [&] {
+      if (issued >= kWrites) return;
+      // Adjacent sectors: every queued write-back is mergeable with its
+      // neighbours.
+      const auto lba = static_cast<disk::Lba>(issued);
+      ++issued;
+      driver.submit_write(io::BlockAddr{dev, lba}, 1, payload, [&] { next(); });
+    };
+    bool drained = false;
+    state.ResumeTiming();
+    simulator.schedule(sim::micros(1), [&] { next(); });
+    while (issued < kWrites || driver.stats().requests_logged < kWrites) {
+      if (!simulator.step()) break;
+    }
+    driver.drain([&] { drained = true; });
+    while (!drained) {
+      if (!simulator.step()) break;
+    }
+    state.PauseTiming();
+    const auto& s = driver.stats();
+    commands = static_cast<double>(s.writeback_commands);
+    coalesce = s.writeback_commands == 0
+                   ? 0.0
+                   : static_cast<double>(s.writebacks_dispatched) /
+                         static_cast<double>(s.writeback_commands);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kWrites);
+  state.counters["wb_commands"] = commands;
+  state.counters["wb_coalesce"] = coalesce;
+}
+BENCHMARK(BM_WritebackCoalesce)->Arg(1)->Arg(32)->Unit(benchmark::kMillisecond);
+
 // Chrome-trace serialization of a full ring (the export path the trace
 // viewer and CI smoke test exercise).
 void BM_ObsChromeExport(benchmark::State& state) {

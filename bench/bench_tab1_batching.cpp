@@ -5,13 +5,28 @@
 // between the extremes, because each physical write pays repositioning
 // plus write-after-write command overhead. The paper's experiment
 // repositions after every physical write, i.e. utilization threshold 0.
+//
+// With a summary path argument (`bench_tab1_batching out.json`) the
+// sweep also lands as machine-readable JSON: per-batch elapsed times,
+// the extremes factor (the CI Release job asserts a floor on it), and
+// the write-back dispatch counters after full drain, which quantify the
+// coalescing stage (commands < dispatched ranges when batching works).
+
+#include <cstdio>
 
 #include "harness.hpp"
 
 namespace trail::bench {
 namespace {
 
-double elapsed_for_batch(std::uint32_t batch, double threshold) {
+struct SweepPoint {
+  double elapsed_ms = 0.0;       // first submit -> last ack (the paper's metric)
+  std::uint64_t wb_enqueued = 0;  // write-back ranges enqueued over the run
+  std::uint64_t wb_dispatched = 0;
+  std::uint64_t wb_commands = 0;  // physical data-disk commands after drain
+};
+
+SweepPoint run_batch(std::uint32_t batch, double threshold) {
   core::TrailConfig config;
   config.max_requests_per_physical = batch;
   config.track_utilization_threshold = threshold;
@@ -33,40 +48,99 @@ double elapsed_for_batch(std::uint32_t batch, double threshold) {
   while (acked < 32) {
     if (!stack.sim.step()) throw std::runtime_error("tab1: stalled");
   }
-  return (t_last - t0).ms();
+  SweepPoint point;
+  point.elapsed_ms = (t_last - t0).ms();
+  // Drain the write-backs so the dispatch counters cover the whole burst.
+  bool drained = false;
+  stack.driver->drain([&drained] { drained = true; });
+  while (!drained) {
+    if (!stack.sim.step()) throw std::runtime_error("tab1: drain stalled");
+  }
+  const core::TrailStats& s = stack.driver->stats();
+  point.wb_enqueued = s.writebacks;
+  point.wb_dispatched = s.writebacks_dispatched;
+  point.wb_commands = s.writeback_commands;
+  return point;
+}
+
+void append_sweep_json(std::string& out, const char* name, const std::vector<SweepPoint>& sweep) {
+  const auto num = [&out](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    out += buf;
+  };
+  out += "\"";
+  out += name;
+  out += "\":{\"batch_sizes\":[1,2,4,8,16,32],\"elapsed_ms\":[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) out += ',';
+    num(sweep[i].elapsed_ms);
+  }
+  out += "],\"factor\":";
+  num(sweep.front().elapsed_ms / sweep.back().elapsed_ms);
+  out += ",\"wb_enqueued\":[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(sweep[i].wb_enqueued);
+  }
+  out += "],\"wb_dispatched\":[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(sweep[i].wb_dispatched);
+  }
+  out += "],\"wb_commands\":[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(sweep[i].wb_commands);
+  }
+  out += "]}";
+}
+
+std::vector<SweepPoint> print_sweep(double threshold) {
+  std::vector<SweepPoint> sweep;
+  sim::TablePrinter table({"Batch Size", "1", "2", "4", "8", "16", "32"});
+  std::vector<std::string> row{"Elapsed Time (msec)"};
+  std::vector<std::string> wb_row{"WB commands (drained)"};
+  for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    sweep.push_back(run_batch(batch, threshold));
+    row.push_back(sim::TablePrinter::fmt(sweep.back().elapsed_ms, 1));
+    wb_row.push_back(std::to_string(sweep.back().wb_commands));
+  }
+  table.add_row(row);
+  table.add_row(wb_row);
+  table.print();
+  return sweep;
 }
 
 }  // namespace
 }  // namespace trail::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail::bench;
-  namespace sim = trail::sim;
 
   print_heading("Table 1: 32 one-sector writes vs batch size (reposition after every write)");
-  {
-    sim::TablePrinter table({"Batch Size", "1", "2", "4", "8", "16", "32"});
-    std::vector<std::string> row{"Elapsed Time (msec)"};
-    double first = 0, last = 0;
-    for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      last = elapsed_for_batch(batch, /*threshold=*/0.0);
-      if (batch == 1) first = last;
-      row.push_back(sim::TablePrinter::fmt(last, 1));
-    }
-    table.add_row(row);
-    table.print();
-    std::printf("factor between extremes: %.1fx (paper: 129.9/8.4 = 15.5x)\n", first / last);
-  }
+  const auto paper_sweep = print_sweep(/*threshold=*/0.0);
+  std::printf("factor between extremes: %.1fx (paper: 129.9/8.4 = 15.5x)\n",
+              paper_sweep.front().elapsed_ms / paper_sweep.back().elapsed_ms);
 
   print_heading("Ablation: same sweep at the default 30% utilization threshold");
-  {
-    sim::TablePrinter table({"Batch Size", "1", "2", "4", "8", "16", "32"});
-    std::vector<std::string> row{"Elapsed Time (msec)"};
-    for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u})
-      row.push_back(sim::TablePrinter::fmt(elapsed_for_batch(batch, 0.30), 1));
-    table.add_row(row);
-    table.print();
-    std::printf("(multiple batched writes per track amortize the repositioning)\n");
+  const auto default_sweep = print_sweep(/*threshold=*/0.30);
+  std::printf("(multiple batched writes per track amortize the repositioning)\n");
+
+  if (argc > 1) {
+    std::string json = "{";
+    append_sweep_json(json, "paper_threshold0", paper_sweep);
+    json += ',';
+    append_sweep_json(json, "default_threshold30", default_sweep);
+    json += "}\n";
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "tab1: cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("summary written to %s\n", argv[1]);
   }
   return 0;
 }

@@ -17,7 +17,7 @@ BUILD_DIR="${BENCH_BUILD_DIR:-build-release}"
 REPS="${BENCH_REPS:-3}"
 
 cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_engine bench_micro
+cmake --build "$BUILD_DIR" --target bench_engine bench_micro bench_tab1_batching
 
 run_bench() {
   local bin="$1" out="$2"
@@ -58,15 +58,41 @@ if rows:
 EOF
 }
 
+# The tab1 batching sweep (paper Table 1) ships its own JSON summary;
+# inject it under a top-level "tab1_batching" key so the committed
+# BENCH_micro.json carries the log-batching factor and the write-back
+# dispatch counters alongside the google-benchmark entries.
+inject_tab1() {
+  local summary="$1" target="$2"
+  python3 - "$summary" "$target" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    tab1 = json.load(f)
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+doc["tab1_batching"] = tab1
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print("tab1 batching factor: %.1fx (threshold 0)" % tab1["paper_threshold0"]["factor"])
+EOF
+}
+
 if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
   SMOKE_DIR="$(mktemp -d)"
   trap 'rm -rf "$SMOKE_DIR"' EXIT
   run_bench bench_engine "$SMOKE_DIR/engine.json"
   run_bench bench_micro "$SMOKE_DIR/micro.json"
+  "$BUILD_DIR/bench/bench_tab1_batching" "$SMOKE_DIR/tab1.json"
+  inject_tab1 "$SMOKE_DIR/tab1.json" "$SMOKE_DIR/micro.json"
   print_histogram_blocks "$SMOKE_DIR/engine.json"
 else
   run_bench bench_engine BENCH_engine.json
   run_bench bench_micro BENCH_micro.json
+  TAB1_JSON="$(mktemp)"
+  trap 'rm -f "$TAB1_JSON"' EXIT
+  "$BUILD_DIR/bench/bench_tab1_batching" "$TAB1_JSON"
+  inject_tab1 "$TAB1_JSON" BENCH_micro.json
   print_histogram_blocks BENCH_engine.json
   echo "wrote BENCH_engine.json and BENCH_micro.json"
 fi

@@ -156,6 +156,16 @@ BufferManager::Image BufferManager::snapshot(io::DeviceId dev, disk::Lba lba,
   Image img;
   img.data.resize(static_cast<std::size_t>(count) * disk::kSectorSize);
   img.versions.resize(count);
+  snapshot_into(dev, lba, count, img.data, img.versions);
+  return img;
+}
+
+void BufferManager::snapshot_into(io::DeviceId dev, disk::Lba lba, std::uint32_t count,
+                                  std::span<std::byte> out,
+                                  std::span<std::uint64_t> versions) const {
+  if (out.size() < static_cast<std::size_t>(count) * disk::kSectorSize ||
+      versions.size() < count)
+    throw std::invalid_argument("BufferManager::snapshot_into: destination too small");
   std::uint32_t i = 0;
   while (i < count) {
     const disk::Lba cur = lba + i;
@@ -166,13 +176,12 @@ BufferManager::Image BufferManager::snapshot(io::DeviceId dev, disk::Lba lba,
     if (it == groups_.end() || (it->second.live_mask & mask) != mask)
       throw std::logic_error("BufferManager::snapshot: sector not pinned");
     const Group& group = it->second;
-    std::memcpy(img.data.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+    std::memcpy(out.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
                 group.data.data() + static_cast<std::size_t>(off) * disk::kSectorSize,
                 static_cast<std::size_t>(run) * disk::kSectorSize);
-    for (std::uint32_t s = off; s < off + run; ++s) img.versions[i + s - off] = group.meta[s].version;
+    for (std::uint32_t s = off; s < off + run; ++s) versions[i + s - off] = group.meta[s].version;
     i += run;
   }
-  return img;
 }
 
 void BufferManager::mark_durable(io::DeviceId dev, disk::Lba lba,

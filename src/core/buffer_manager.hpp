@@ -76,6 +76,14 @@ class BufferManager {
   };
   [[nodiscard]] Image snapshot(io::DeviceId dev, disk::Lba lba, std::uint32_t count) const;
 
+  /// Allocation-free form of snapshot(): copy the range's latest content
+  /// into `out` (count*512 bytes) and its per-sector versions into
+  /// `versions` (count entries). The batched write-back dispatch uses this
+  /// to materialize each coalesced sub-range directly into the shared
+  /// device-command image.
+  void snapshot_into(io::DeviceId dev, disk::Lba lba, std::uint32_t count,
+                     std::span<std::byte> out, std::span<std::uint64_t> versions) const;
+
   /// A write-back of the range completed on the data disk carrying the
   /// given per-sector versions.
   void mark_durable(io::DeviceId dev, disk::Lba lba, std::span<const std::uint64_t> versions);

@@ -38,6 +38,8 @@ std::string TrailStats::to_json() const {
   field("writebacks", writebacks);
   field("writeback_sectors", writeback_sectors);
   field("writebacks_skipped", writebacks_skipped);
+  field("writebacks_dispatched", writebacks_dispatched);
+  field("writeback_commands", writeback_commands);
   s += '}';
   return s;
 }
@@ -52,6 +54,8 @@ TrailDriver::TrailDriver(sim::Simulator& sim, std::vector<disk::DiskDevice*> log
     throw std::invalid_argument("TrailDriver: utilization threshold must be in [0,1]");
   if (log_disks.empty() || log_disks.size() > kMaxLogUnits)
     throw std::invalid_argument("TrailDriver: 1..15 log disks required");
+  if (config_.max_writeback_ranges < 1)
+    throw std::invalid_argument("TrailDriver: max_writeback_ranges must be >= 1");
   for (disk::DiskDevice* device : log_disks) {
     if (device == nullptr) throw std::invalid_argument("TrailDriver: null log disk");
     if (!is_trail_log_disk(*device))
@@ -78,7 +82,10 @@ TrailDriver::~TrailDriver() {
 
 io::DeviceId TrailDriver::add_data_disk(disk::DiskDevice& device) {
   if (mounted_) throw std::logic_error("TrailDriver: add data disks before mount()");
-  data_queues_.push_back(std::make_unique<io::DeviceQueue>(device, io::make_fifo_scheduler()));
+  // Reads drain first in arrival order; write-backs are CSCAN-ordered and
+  // coalesce in-queue (§4.2–§4.3).
+  data_queues_.push_back(
+      std::make_unique<io::DeviceQueue>(device, io::make_writeback_scheduler()));
   data_disks_.push_back(&device);
   const auto minor = static_cast<std::uint8_t>(data_queues_.size() - 1);
   if (obs_ != nullptr) attach_data_queue_obs(minor);
@@ -97,6 +104,7 @@ void TrailDriver::attach_obs(obs::Obs* obs) {
   obs_ = obs;
   if (obs_ == nullptr) {
     h_sync_write_ = h_phys_write_ = h_batch_ = nullptr;
+    h_wb_ranges_ = h_wb_sectors_ = nullptr;
     g_log_queue_ = nullptr;
     for (auto& q : data_queues_) q->attach_obs(nullptr, 0, "");
     return;
@@ -104,6 +112,8 @@ void TrailDriver::attach_obs(obs::Obs* obs) {
   h_sync_write_ = &obs_->metrics.histogram("trail.sync_write_ns");
   h_phys_write_ = &obs_->metrics.histogram("trail.physical_write_ns");
   h_batch_ = &obs_->metrics.histogram("trail.batch_requests");
+  h_wb_ranges_ = &obs_->metrics.histogram("wb.batch_ranges");
+  h_wb_sectors_ = &obs_->metrics.histogram("wb.batch_sectors");
   g_log_queue_ = &obs_->metrics.gauge("trail.log_queue_depth");
   obs_->tracer.set_track_name(obs::kDriverTid, "driver");
   obs_->tracer.set_track_name(obs::kRecoveryTid, "recovery");
@@ -279,6 +289,20 @@ void TrailDriver::run_audit(audit::Report& report, bool quiescent) const {
   }
   records.require(block_live == buffers_->pending_records(),
                   "staging-buffer pending-record count disagrees with the live-record map");
+
+  // Write-back accounting: every enqueued range is eventually either
+  // dispatched to a data disk or skipped, exactly once; ranges still in
+  // the device queues make up the difference. Holds at every instant, not
+  // just quiescence (mount's audit runs with adopted write-backs queued).
+  records.require(stats_.writebacks == stats_.writebacks_dispatched +
+                                           stats_.writebacks_skipped + wb_queued_ranges_,
+                  "write-back ranges enqueued != dispatched + skipped + still queued");
+  // Each device command carries at least one range, and a command's ranges
+  // settle (dispatched) only at its completion — in-flight ones still
+  // count as queued, hence the second term.
+  records.require(stats_.writeback_commands <=
+                      stats_.writebacks_dispatched + wb_queued_ranges_,
+                  "more write-back device commands than ranges to carry them");
 
   // Staging buffer vs the data-disk platters: a sector with a durable
   // version must have been written to its data disk.
@@ -841,9 +865,13 @@ void TrailDriver::on_record_durable(RecordId id) {
 }
 
 void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32_t count) {
-  // The range's sectors are already cover-pinned (at registration);
-  // the dispatch/skip paths below release exactly one pin per sector.
+  // The range's sectors are already cover-pinned (at registration). The
+  // range rides a batched PendingIo: adjacent/overlapping queued ranges
+  // coalesce into one CSCAN-ordered device command, and exactly one of
+  // the closures below — skipped() or done() — fires for this range,
+  // releasing exactly one pin per sector.
   ++stats_.writebacks;
+  ++wb_queued_ranges_;
   if (obs_ != nullptr && obs_->tracer.enabled())
     obs_->tracer.instant_value("wb.enqueue", "wb", count, obs::kDriverTid);
 
@@ -852,33 +880,48 @@ void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32
   io.lba = lba;
   io.count = count;
   io.priority = 1;  // below reads (§4.3)
+  io.merge_cap = config_.max_writeback_ranges;
   auto alive = alive_;
-  // Skip at dispatch when a newer overlapping write-back already settled
-  // every sector (§4.2's skip/cancel). The predicate releases the pin so
-  // it must be evaluated exactly once, which DeviceQueue guarantees.
-  io.cancelled = [this, alive, dev, lba, count] {
-    if (!*alive) return true;
-    if (!buffers_->range_settled(dev, lba, count)) return false;
+  io.on_dispatch = [this, alive](std::uint32_t nranges, std::uint32_t sectors) {
+    if (!*alive) return;
+    ++stats_.writeback_commands;
+    if (h_wb_ranges_ != nullptr) h_wb_ranges_->record(nranges);
+    if (h_wb_sectors_ != nullptr) h_wb_sectors_->record(sectors);
+    if (obs_ != nullptr && obs_->tracer.enabled())
+      obs_->tracer.instant_value("wb.dispatch", "wb", nranges, obs::kDriverTid);
+  };
+
+  io::PendingIo::WbRange range;
+  range.lba = lba;
+  range.count = count;
+  // A newer overlapping write-back already put content at least this new
+  // on the platter (§4.2's skip/cancel), evaluated per constituent range
+  // so a settled sub-range drops out of a merged command.
+  range.settled = [this, alive, dev, lba, count] {
+    return !*alive || buffers_->range_settled(dev, lba, count);
+  };
+  range.skipped = [this, alive, dev, lba, count] {
+    if (!*alive) return;
     buffers_->unpin_range(dev, lba, count);
     ++stats_.writebacks_skipped;
+    --wb_queued_ranges_;
     if (obs_ != nullptr && obs_->tracer.enabled())
       obs_->tracer.instant_value("wb.skip", "wb", count, obs::kDriverTid);
-    return true;
   };
-  auto versions = std::make_shared<std::vector<std::uint64_t>>();
-  io.materialize = [this, alive, dev, lba, count, versions]() -> std::vector<std::byte> {
-    if (!*alive) return std::vector<std::byte>(count * disk::kSectorSize);
-    BufferManager::Image img = buffers_->snapshot(dev, lba, count);
-    *versions = std::move(img.versions);
-    return std::move(img.data);
-  };
-  io.on_complete = [this, alive, dev, lba, count, versions] {
+  auto versions = std::make_shared<std::vector<std::uint64_t>>(count);
+  range.fill = [this, alive, dev, lba, count, versions](std::span<std::byte> out) {
     if (!*alive) return;
-    if (versions->empty()) return;  // the skip path already cleaned up
+    buffers_->snapshot_into(dev, lba, count, out, *versions);
+  };
+  range.done = [this, alive, dev, lba, count, versions] {
+    if (!*alive) return;
     stats_.writeback_sectors += count;
+    ++stats_.writebacks_dispatched;
+    --wb_queued_ranges_;
     buffers_->mark_durable(dev, lba, *versions);
     buffers_->unpin_range(dev, lba, count);
   };
+  io.ranges.push_back(std::move(range));
   data_queue(dev).submit(std::move(io));
 }
 

@@ -67,6 +67,13 @@ struct TrailConfig {
   /// Max *requests* folded into one physical log write; 0 = unlimited.
   /// Sweeping this reproduces Table 1; 1 disables batching.
   std::uint32_t max_requests_per_physical = 0;
+  /// Max dirty ranges coalesced into one data-disk write-back command by
+  /// the per-disk CSCAN dispatcher (§4.2–§4.3): queued write-backs whose
+  /// ranges are adjacent or overlapping merge into a single device
+  /// command, with settled sub-ranges dropping out at dispatch.
+  /// 1 disables coalescing (one command per record run, the pre-batching
+  /// behaviour); must be >= 1.
+  std::uint32_t max_writeback_ranges = 32;
   /// Recovery policy at mount (Fig. 4b): write pending records back to the
   /// data disks before resuming, or adopt them as live state and let the
   /// normal write-back path drain them.
@@ -85,9 +92,12 @@ struct TrailStats {
   std::uint64_t log_full_stalls = 0;
   std::uint64_t reads = 0;
   std::uint64_t read_buffer_hits = 0;   // served entirely from pinned memory
-  std::uint64_t writebacks = 0;
+  std::uint64_t writebacks = 0;           // dirty ranges enqueued for write-back
   std::uint64_t writeback_sectors = 0;
-  std::uint64_t writebacks_skipped = 0;  // superseded before dispatch (§4.2)
+  std::uint64_t writebacks_skipped = 0;   // superseded before dispatch (§4.2)
+  std::uint64_t writebacks_dispatched = 0;  // ranges that reached a data disk
+  std::uint64_t writeback_commands = 0;   // physical data-disk write commands
+                                          // (< dispatched when ranges coalesce)
 
   /// Mean requests per physical log write (the batching factor).
   [[nodiscard]] double mean_batch_size() const {
@@ -283,6 +293,11 @@ class TrailDriver final : public io::BlockDriver {
   std::map<std::uint64_t, LiveRecord> live_records_;
 
   TrailStats stats_;
+  /// Write-back ranges enqueued but neither dispatched nor skipped yet.
+  /// Together with the stats the invariant
+  ///   writebacks == writebacks_dispatched + writebacks_skipped + wb_queued_ranges_
+  /// holds at every instant; run_audit asserts it.
+  std::uint64_t wb_queued_ranges_ = 0;
   RecoveryStats last_recovery_;
   std::vector<RecoveredRecord> recovered_direct_;
   sim::EventId idle_timer_;
@@ -293,6 +308,8 @@ class TrailDriver final : public io::BlockDriver {
   obs::Histogram* h_sync_write_ = nullptr;   // submit -> ack, ns
   obs::Histogram* h_phys_write_ = nullptr;   // physical log write, ns
   obs::Histogram* h_batch_ = nullptr;        // requests acked per physical write
+  obs::Histogram* h_wb_ranges_ = nullptr;    // coalesced ranges per wb command
+  obs::Histogram* h_wb_sectors_ = nullptr;   // sectors per wb command
   obs::Gauge* g_log_queue_ = nullptr;        // pending synchronous writes
 
 

@@ -31,7 +31,9 @@ void DeviceQueue::update_depth() {
 
 void DeviceQueue::submit(PendingIo io) {
   io.seq = next_seq_++;
-  scheduler_->push(std::move(io));
+  // Batched write-backs coalesce into an already-queued adjacent/
+  // overlapping batch instead of occupying their own queue slot (§4.2).
+  if (!scheduler_->try_merge(io)) scheduler_->push(std::move(io));
   pump();
   update_depth();
 }
@@ -47,6 +49,10 @@ void DeviceQueue::pump() {
     const disk::Lba head =
         device_.geometry().first_lba_of_track(device_.current_track());
     PendingIo io = scheduler_->pop_next(head);
+    if (!io.ranges.empty()) {
+      if (begin_batch(std::move(io))) return;
+      continue;  // every sub-range skipped; nothing reached the device
+    }
     if (io.cancelled && io.cancelled()) {
       // Superseded while queued (Trail §4.2 skips such write-backs). Its
       // completion still fires so bookkeeping can release resources.
@@ -89,6 +95,101 @@ void DeviceQueue::pump() {
     }
     return;
   }
+}
+
+bool DeviceQueue::begin_batch(PendingIo io) {
+  // Skip-filter the constituent ranges in merge order. A range fully
+  // covered by earlier survivors is redundant — those survivors
+  // materialize the latest buffered content at dispatch, so its bytes
+  // ride along ("other write requests to the same buffer are skipped",
+  // §4.2). Independently, a range whose content already became durable
+  // drops out. Either way its `skipped` closure releases the pins the
+  // enqueue took.
+  std::vector<bool> covered(io.count, false);
+  auto state = std::make_unique<BatchState>();
+  for (auto& r : io.ranges) {
+    const std::size_t off = r.lba - io.lba;
+    bool redundant = true;
+    for (std::size_t s = off; s < off + r.count; ++s) redundant = redundant && covered[s];
+    if (redundant || (r.settled && r.settled())) {
+      if (skip_counter_ != nullptr) {
+        skip_counter_->inc();
+        if (obs_->tracer.enabled()) obs_->tracer.instant("io.skip", "io", obs_tid_);
+      }
+      if (r.skipped) r.skipped();
+      continue;
+    }
+    for (std::size_t s = off; s < off + r.count; ++s) covered[s] = true;
+    state->survivors.push_back(std::move(r));
+  }
+  if (state->survivors.empty()) return false;
+
+  // Carve the covered envelope into maximal contiguous runs (skip holes
+  // split it) — a DiskDevice command is one contiguous sector run — and
+  // materialize every survivor into its run at dispatch time. Overlapping
+  // survivors rewrite identical bytes: `fill` snapshots the same latest
+  // buffered content.
+  std::size_t s = 0;
+  while (s < io.count) {
+    if (!covered[s]) {
+      ++s;
+      continue;
+    }
+    std::size_t e = s;
+    while (e < io.count && covered[e]) ++e;
+    BatchRun run;
+    run.lba = io.lba + s;
+    run.image.resize((e - s) * disk::kSectorSize);
+    state->runs.push_back(std::move(run));
+    s = e;
+  }
+  for (auto& r : state->survivors) {
+    for (auto& run : state->runs) {
+      const disk::Lba run_end = run.lba + run.image.size() / disk::kSectorSize;
+      if (r.lba < run.lba || r.lba + r.count > run_end) continue;
+      ++run.ranges;
+      if (r.fill) {
+        const std::size_t byte_off = (r.lba - run.lba) * disk::kSectorSize;
+        r.fill(std::span<std::byte>(run.image).subspan(byte_off, r.count * disk::kSectorSize));
+      }
+      break;
+    }
+  }
+  state->on_dispatch = std::move(io.on_dispatch);
+  batch_ = std::move(state);
+  dispatched_ = true;
+  issue_batch_run();
+  return true;
+}
+
+void DeviceQueue::issue_batch_run() {
+  BatchState& b = *batch_;
+  if (b.next == b.runs.size()) {
+    // All runs on the platter: settle every survivor, then resume normal
+    // pumping. Move the state out first — `done` can re-enter submit().
+    const std::unique_ptr<BatchState> state = std::move(batch_);
+    dispatched_ = false;
+    for (auto& r : state->survivors)
+      if (r.done) r.done();
+    update_depth();
+    pump();
+    if (idle() && on_idle_) {
+      const auto notify = on_idle_;
+      notify();
+    }
+    return;
+  }
+  BatchRun& run = b.runs[b.next++];
+  const auto count = static_cast<std::uint32_t>(run.image.size() / disk::kSectorSize);
+  if (b.on_dispatch) b.on_dispatch(run.ranges, count);
+  const bool traced = obs_ != nullptr && obs_->tracer.enabled();
+  sim::TimePoint begin{};
+  if (traced) begin = obs_->tracer.now();
+  device_.write(run.lba, count, run.image, [this, traced, begin] {
+    if (traced && obs_ != nullptr && obs_->tracer.enabled())
+      obs_->tracer.complete("io.write", "io", begin, obs_->tracer.now() - begin, obs_tid_);
+    issue_batch_run();
+  });
 }
 
 }  // namespace trail::io

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "disk/disk_device.hpp"
 #include "io/scheduler.hpp"
@@ -48,13 +49,35 @@ class DeviceQueue {
   void attach_obs(obs::Obs* obs, std::uint32_t tid, std::string_view depth_gauge_name);
 
  private:
+  /// One contiguous platter write carved out of a batched write-back after
+  /// skip-filtering (skipped sub-ranges can leave holes in the envelope).
+  struct BatchRun {
+    disk::Lba lba = 0;
+    std::uint32_t ranges = 0;  // survivors materialized into this run
+    std::vector<std::byte> image;
+  };
+  /// A batched write-back mid-dispatch: its surviving sub-ranges and the
+  /// contiguous runs still to be written. Held in a member (not captured
+  /// in a self-referencing closure) so the run chain cannot leak.
+  struct BatchState {
+    std::vector<PendingIo::WbRange> survivors;
+    std::vector<BatchRun> runs;
+    std::size_t next = 0;
+    std::function<void(std::uint32_t, std::uint32_t)> on_dispatch;
+  };
+
   void pump();
   void update_depth();
+  /// Skip-filter a popped batch, assemble its runs, and start writing.
+  /// Returns false when every sub-range was skipped (nothing dispatched).
+  bool begin_batch(PendingIo io);
+  void issue_batch_run();
 
   disk::DiskDevice& device_;
   std::unique_ptr<IoScheduler> scheduler_;
   std::uint64_t next_seq_ = 0;
   bool dispatched_ = false;  // one of ours is on the device
+  std::unique_ptr<BatchState> batch_;  // non-null while a batch's runs are in flight
   std::function<void()> on_idle_;
   obs::Obs* obs_ = nullptr;
   std::uint32_t obs_tid_ = 0;

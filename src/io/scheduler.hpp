@@ -1,10 +1,12 @@
 // Per-device I/O scheduling policies.
 //
 // The standard-baseline driver uses C-LOOK (the Linux elevator of the
-// paper's era); Trail's write-back path uses FIFO queues but drains the
-// read class before the write class ("data disk reads are given higher
-// priority than data disk writes", §4.3). Priority classes are part of
-// the scheduler interface so both fall out of one mechanism.
+// paper's era); Trail's write-back path keeps reads above writes ("data
+// disk reads are given higher priority than data disk writes", §4.3),
+// serves the read class in arrival order, and CSCAN-orders the write
+// class, coalescing adjacent/overlapping queued write-backs into one
+// multi-range device command (§4.2). Priority classes are part of the
+// scheduler interface so all policies fall out of one mechanism.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +35,44 @@ struct PendingIo {
   /// *latest* buffered content of a page, which is how superseded queued
   /// write-backs collapse into one physical write (§4.2).
   std::function<std::vector<std::byte>()> materialize;
+
+  /// One constituent dirty range of a batched write-back. Each range
+  /// keeps its own lifecycle closures so a merged device command still
+  /// settles every record exactly once and releases exactly the pins its
+  /// enqueue took.
+  struct WbRange {
+    disk::Lba lba = 0;
+    std::uint32_t count = 0;
+    /// Pure predicate, checked at dispatch: the range's content is already
+    /// durable (superseded by a newer overlapping write that hit the
+    /// platter first), so it drops out of the merged command.
+    std::function<bool()> settled;
+    /// Cleanup when the range drops out of its dispatch (settled, or
+    /// absorbed by overlapping survivors of the same batch): release the
+    /// enqueue's pins and count the skip.
+    std::function<void()> skipped;
+    /// Snapshot the *latest* buffered content of the range into `out`
+    /// (dispatch-time materialize, the batched analogue of
+    /// PendingIo::materialize).
+    std::function<void(std::span<std::byte> out)> fill;
+    /// The platter write covering the range completed: mark durable,
+    /// release pins, count the dispatch.
+    std::function<void()> done;
+  };
+
+  /// Non-empty marks this request as a batched write-back. `lba`/`count`
+  /// then describe the *envelope* of the batch; the union of the ranges is
+  /// contiguous and equals the envelope (merging only ever joins
+  /// adjacent/overlapping envelopes). `data`/`out`/`cancelled`/
+  /// `materialize`/`on_complete` are unused on this path — DeviceQueue
+  /// dispatches via the per-range closures instead.
+  std::vector<WbRange> ranges;
+  /// Max constituent ranges a batch may grow to via in-queue merging;
+  /// 1 disables coalescing for this request.
+  std::uint32_t merge_cap = 1;
+  /// Called once per physical device command issued for this batch, with
+  /// the number of constituent ranges it carries and its sector count.
+  std::function<void(std::uint32_t ranges, std::uint32_t sectors)> on_dispatch;
 };
 
 class IoScheduler {
@@ -46,6 +86,16 @@ class IoScheduler {
   /// Remove and return the next request to dispatch, given the head's
   /// current position. Must only be called when !empty().
   virtual PendingIo pop_next(disk::Lba head_position) = 0;
+
+  /// Try to fold `io` (a batched write-back) into a queued batch of the
+  /// same priority class whose envelope is adjacent or overlapping,
+  /// respecting both batches' merge caps; cascades if the grown envelope
+  /// now touches further queued batches. Returns true when `io` was
+  /// consumed. The default implementation never merges.
+  virtual bool try_merge(PendingIo& io) {
+    (void)io;
+    return false;
+  }
 };
 
 /// Strict arrival order within each priority class.
@@ -54,5 +104,12 @@ std::unique_ptr<IoScheduler> make_fifo_scheduler();
 /// C-LOOK elevator within each priority class: service ascending LBAs from
 /// the head position, wrapping to the lowest pending LBA.
 std::unique_ptr<IoScheduler> make_clook_scheduler();
+
+/// Trail's data-disk policy (§4.2–§4.3): priority class 0 (reads, and
+/// recovery writes) in strict arrival order above all write-back classes;
+/// classes >= 1 CSCAN-ordered by envelope LBA, with adjacent/overlapping
+/// batched write-backs coalesced in-queue (try_merge) up to each batch's
+/// merge cap.
+std::unique_ptr<IoScheduler> make_writeback_scheduler();
 
 }  // namespace trail::io

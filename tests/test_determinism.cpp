@@ -132,7 +132,11 @@ TEST(Determinism, SameSeedSameTrailStatsAndEventCount) {
   EXPECT_EQ(first.stats.requests_logged, 240u);
   EXPECT_GT(first.stats.writebacks, 0u);
   EXPECT_GT(first.stats.reads, 0u);
-  EXPECT_GT(first.events_dispatched, 1000u);
+  // The floor is below the pre-coalescing ~1450 events: batched CSCAN
+  // write-back dispatch legitimately removes per-range device commands.
+  EXPECT_GT(first.events_dispatched, 500u);
+  EXPECT_GT(first.stats.writebacks_dispatched, 0u);
+  EXPECT_LE(first.stats.writeback_commands, first.stats.writebacks_dispatched);
   EXPECT_NE(first.stats.to_json().find("\"requests_logged\":240"), std::string::npos);
 }
 
