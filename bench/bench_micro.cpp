@@ -44,6 +44,12 @@ void BM_LbaToChs(benchmark::State& state) {
 }
 BENCHMARK(BM_LbaToChs);
 
+// One full header sector is serialized per iteration regardless of batch
+// size, so cost is reported as sector-bytes/second (batch size only
+// changes how much of the sector carries entries). The entries_per_s
+// rate shows the marginal per-entry cost — this replaces the old
+// items/sec-free report where the /1 case misleadingly benched "slower"
+// than /32 because each iteration's fixed 512-byte CRC dominated.
 void BM_RecordHeaderEncode(benchmark::State& state) {
   core::RecordHeader hdr;
   hdr.batch_size = static_cast<std::uint32_t>(state.range(0));
@@ -57,27 +63,76 @@ void BM_RecordHeaderEncode(benchmark::State& state) {
     core::serialize_record_header(hdr, sector);
     benchmark::DoNotOptimize(sector);
   }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(disk::kSectorSize));
+  state.counters["entries_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * state.range(0), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RecordHeaderEncode)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_RecordHeaderParse(benchmark::State& state) {
   core::RecordHeader hdr;
-  hdr.batch_size = 32;
-  hdr.entries.resize(32);
+  hdr.batch_size = static_cast<std::uint32_t>(state.range(0));
+  hdr.entries.resize(hdr.batch_size);
   disk::SectorBuf sector{};
   core::serialize_record_header(hdr, sector);
   for (auto _ : state) benchmark::DoNotOptimize(core::parse_record_header(sector));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(disk::kSectorSize));
+  state.counters["entries_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * state.range(0), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_RecordHeaderParse);
+BENCHMARK(BM_RecordHeaderParse)->Arg(1)->Arg(32);
 
+// 64 B ~ the header-CRC window granularity, 512 B one sector, 4 KiB a
+// mid-size batch, 16 KiB a multi-sector payload image (the CI floor's
+// shape). Uses the dispatched implementation.
 void BM_Crc32(benchmark::State& state) {
   std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
   sim::Rng rng(5);
   for (auto& b : data) b = std::byte(static_cast<std::uint8_t>(rng.next()));
   for (auto _ : state) benchmark::DoNotOptimize(core::crc32(data));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+  state.SetLabel(core::crc32_impl_name());
 }
-BENCHMARK(BM_Crc32)->Arg(512)->Arg(16384);
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(512)->Arg(4096)->Arg(16384);
+
+// Per-tier throughput, independent of dispatch: the regression trail for
+// each implementation (hw falls back to sliced on CPUs without CLMUL/CRC
+// instructions — the label says which one actually ran).
+void BM_Crc32Impl(benchmark::State& state, core::CrcImpl impl, const char* label) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  sim::Rng rng(5);
+  for (auto& b : data) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+  for (auto _ : state) benchmark::DoNotOptimize(core::detail::crc32_with(impl, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+  state.SetLabel(label);
+}
+BENCHMARK_CAPTURE(BM_Crc32Impl, table, core::CrcImpl::kTable, "table")->Arg(16384);
+BENCHMARK_CAPTURE(BM_Crc32Impl, sliced, core::CrcImpl::kSliced, "sliced")->Arg(16384);
+BENCHMARK_CAPTURE(BM_Crc32Impl, hw, core::CrcImpl::kHw, "hw")->Arg(16384);
+
+// The tracer's hot record path with the delta/mask compact encoding: a
+// realistic alternating event mix (span + counter on one lane). The
+// bytes_per_event counter is the capture-side win over the old
+// fixed-slot ring (sizeof(TraceEvent) per event).
+void BM_TraceCapture(benchmark::State& state) {
+  sim::Simulator simulator;
+  obs::EventTracer tracer(simulator, 1 << 16);
+  tracer.set_enabled(true);
+  std::int64_t depth = 0;
+  for (auto _ : state) {
+    tracer.complete("log.append", "log", sim::TimePoint{depth * 1000}, sim::micros(2), 3);
+    tracer.counter("depth", "io", depth & 15, 3);
+    depth += 2;
+  }
+  benchmark::DoNotOptimize(tracer.size());
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (tracer.size() > 0)
+    state.counters["bytes_per_event"] =
+        static_cast<double>(tracer.encoded_bytes()) / static_cast<double>(tracer.size());
+}
+BENCHMARK(BM_TraceCapture);
 
 void BM_WalRecordEncode(benchmark::State& state) {
   db::WalRecord rec;

@@ -78,6 +78,45 @@ print("tab1 batching factor: %.1fx (threshold 0)" % tab1["paper_threshold0"]["fa
 EOF
 }
 
+# Codec summary: distill the CRC tier throughputs and the tracer's
+# bytes/event out of the google-benchmark rows into a top-level "codec"
+# key, so the hot-path codec trajectory is one greppable object rather
+# than scattered bench entries.
+inject_codec() {
+  local target="$1"
+  python3 - "$target" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+def pick(name):
+    rows = [b for b in doc.get("benchmarks", []) if b.get("run_name", b["name"]) == name]
+    for b in rows:  # prefer the median aggregate when repetitions ran
+        if b.get("aggregate_name") == "median":
+            return b
+    return rows[0] if rows else None
+codec = {}
+dispatched = pick("BM_Crc32/16384")
+if dispatched:
+    codec["crc32_impl"] = dispatched.get("label", "")
+    codec["crc32_gbps_16k"] = dispatched.get("bytes_per_second", 0) / 1e9
+for tier in ("table", "sliced", "hw"):
+    row = pick("BM_Crc32Impl/%s/16384" % tier)
+    if row:
+        codec["crc32_%s_gbps_16k" % tier] = row.get("bytes_per_second", 0) / 1e9
+trace = pick("BM_TraceCapture")
+if trace and "bytes_per_event" in trace:
+    codec["trace_bytes_per_event"] = trace["bytes_per_event"]
+doc["codec"] = codec
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+if "crc32_gbps_16k" in codec:
+    print("codec: crc32[%s] %.2f GB/s on 16 KiB, trace %.1f B/event"
+          % (codec.get("crc32_impl", "?"), codec["crc32_gbps_16k"],
+             codec.get("trace_bytes_per_event", float("nan"))))
+EOF
+}
+
 if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
   SMOKE_DIR="$(mktemp -d)"
   trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -85,6 +124,7 @@ if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
   run_bench bench_micro "$SMOKE_DIR/micro.json"
   "$BUILD_DIR/bench/bench_tab1_batching" "$SMOKE_DIR/tab1.json"
   inject_tab1 "$SMOKE_DIR/tab1.json" "$SMOKE_DIR/micro.json"
+  inject_codec "$SMOKE_DIR/micro.json"
   print_histogram_blocks "$SMOKE_DIR/engine.json"
 else
   run_bench bench_engine BENCH_engine.json
@@ -93,6 +133,7 @@ else
   trap 'rm -f "$TAB1_JSON"' EXIT
   "$BUILD_DIR/bench/bench_tab1_batching" "$TAB1_JSON"
   inject_tab1 "$TAB1_JSON" BENCH_micro.json
+  inject_codec BENCH_micro.json
   print_histogram_blocks BENCH_engine.json
   echo "wrote BENCH_engine.json and BENCH_micro.json"
 fi

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/crc32.hpp"
 #include "core/format_tool.hpp"
 #include "core/log_format.hpp"
 
@@ -114,10 +115,15 @@ Report verify_log(const disk::SectorStore& store, const disk::Geometry& geometry
       rec.header_lba = lba;
       rec.header = std::move(*hdr);
       if (lba + 1 + rec.header.batch_size <= geometry.total_sectors()) {
-        std::vector<std::byte> payload(
-            static_cast<std::size_t>(rec.header.batch_size) * disk::kSectorSize);
-        store.read(lba + 1, rec.header.batch_size, payload);
-        rec.payload_intact = core::payload_image_crc(payload) == rec.header.payload_crc;
+        // Stream the payload one sector at a time through the incremental
+        // CRC instead of staging the whole image in a temporary vector.
+        core::Crc32 crc;
+        disk::SectorBuf payload_sector{};
+        for (std::uint32_t s = 0; s < rec.header.batch_size; ++s) {
+          store.read(lba + 1 + s, 1, payload_sector);
+          crc.update(payload_sector);
+        }
+        rec.payload_intact = crc.value() == rec.header.payload_crc;
       } else {
         c_entries.fail("record payload extends past the end of the disk", lba);
       }

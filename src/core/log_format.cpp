@@ -95,17 +95,20 @@ void require_sector(std::size_t size) {
 }
 
 // Header-sector CRC convention: the CRC field occupies a fixed offset; it
-// is computed over the whole sector with that field zeroed. These helpers
-// copy a full sector, so they must never be handed a short span — the
-// parse_* entry points return nullopt before reaching here, but a direct
-// caller with a truncated buffer would otherwise read past the end.
+// is computed over the whole sector with that field zeroed. Computed
+// incrementally over [0, crc_offset), four zero bytes, and the remainder
+// — no sector copy. Must never be handed a short span: the parse_* entry
+// points return nullopt before reaching here, but a direct caller with a
+// truncated buffer would otherwise read past the end.
 std::uint32_t sector_crc_excluding(std::span<const std::byte> sector, std::size_t crc_offset) {
   if (sector.size() < disk::kSectorSize || crc_offset > disk::kSectorSize - 4)
     throw std::length_error("log_format: crc window out of bounds");
-  std::byte tmp[disk::kSectorSize];
-  std::memcpy(tmp, sector.data(), disk::kSectorSize);
-  std::memset(tmp + crc_offset, 0, 4);
-  return crc32(std::span<const std::byte>(tmp, disk::kSectorSize));
+  static constexpr std::byte kZeros[4]{};
+  Crc32 crc;
+  crc.update(sector.first(crc_offset));
+  crc.update(kZeros);
+  crc.update(sector.subspan(crc_offset + 4, disk::kSectorSize - crc_offset - 4));
+  return crc.value();
 }
 
 void put_crc(std::span<std::byte> sector, std::size_t crc_offset) {
@@ -292,5 +295,19 @@ void unescape_payload_sector(std::span<std::byte> sector, std::uint8_t original_
 }
 
 std::uint32_t payload_image_crc(std::span<const std::byte> payload) { return crc32(payload); }
+
+std::uint32_t escape_payload_image(std::span<std::byte> payload,
+                                   std::span<RecordEntry> entries) {
+  if (payload.size() != entries.size() * disk::kSectorSize)
+    throw std::invalid_argument("escape_payload_image: payload/entries size mismatch");
+  Crc32 crc;
+  for (std::size_t s = 0; s < entries.size(); ++s) {
+    const std::span<std::byte> sector = payload.subspan(s * disk::kSectorSize, disk::kSectorSize);
+    entries[s].first_data_byte = static_cast<std::uint8_t>(sector[0]);
+    sector[0] = kDataFirstByte;
+    crc.update(sector);
+  }
+  return crc.value();
+}
 
 }  // namespace trail::core

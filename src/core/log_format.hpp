@@ -165,4 +165,13 @@ void unescape_payload_sector(std::span<std::byte> sector, std::uint8_t original_
 /// CRC over a full escaped payload image (batch_size sectors).
 [[nodiscard]] std::uint32_t payload_image_crc(std::span<const std::byte> payload);
 
+/// Single pass over a record's whole payload image (entries.size()
+/// sectors): escape each sector's first byte into the matching entry's
+/// first_data_byte and return the CRC32 of the escaped image. Equivalent
+/// to escape_payload_sector per sector followed by payload_image_crc,
+/// with the payload touched once instead of three times — the append
+/// hot path's form.
+[[nodiscard]] std::uint32_t escape_payload_image(std::span<std::byte> payload,
+                                                 std::span<RecordEntry> entries);
+
 }  // namespace trail::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/crc32.hpp"
+
 namespace trail::core {
 
 LogScanner::LogScanner(const disk::DiskDevice& device)
@@ -20,12 +22,17 @@ std::optional<ScannedRecord> LogScanner::parse_at(disk::Lba lba) const {
   rec.header_lba = lba;
   rec.track = geom.track_of_lba(lba);
   // Validate the payload CRC (payload is contiguous after the header and
-  // never crosses the end of the disk by construction).
+  // never crosses the end of the disk by construction). Streamed one
+  // sector at a time through the incremental CRC — the whole-image
+  // staging vector the scan loop used to allocate per record is gone.
   if (lba + 1 + hdr->batch_size <= geom.total_sectors()) {
-    std::vector<std::byte> payload(static_cast<std::size_t>(hdr->batch_size) *
-                                   disk::kSectorSize);
-    device_.store().read(lba + 1, hdr->batch_size, payload);
-    rec.payload_intact = payload_image_crc(payload) == hdr->payload_crc;
+    Crc32 crc;
+    disk::SectorBuf payload_sector{};
+    for (std::uint32_t s = 0; s < hdr->batch_size; ++s) {
+      device_.store().read(lba + 1 + s, 1, payload_sector);
+      crc.update(payload_sector);
+    }
+    rec.payload_intact = crc.value() == hdr->payload_crc;
   }
   rec.header = std::move(*hdr);
   return rec;

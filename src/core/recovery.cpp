@@ -213,18 +213,24 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
     }
     prev_key = record_key(*hdr);
 
-    // Payload sectors follow the header contiguously.
+    // Payload sectors follow the header contiguously. The CRC is folded
+    // into assembly with crc32_combine: each piece (window slice, spill
+    // read) is checksummed as it lands, so the image is never re-walked
+    // for a separate payload_image_crc pass.
     std::vector<std::byte> payload(static_cast<std::size_t>(hdr->batch_size) * disk::kSectorSize);
+    std::uint32_t payload_crc = 0;
     if (1 + hdr->batch_size <= window) {
       std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize, payload.size());
+      payload_crc = crc32(payload);
     } else {
-      std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize,
-                  static_cast<std::size_t>(window - 1) * disk::kSectorSize);
-      read_sync(unit, lba + window, hdr->batch_size - (window - 1),
-                std::span<std::byte>(payload).subspan(static_cast<std::size_t>(window - 1) *
-                                                      disk::kSectorSize));
+      const std::size_t head_bytes = static_cast<std::size_t>(window - 1) * disk::kSectorSize;
+      std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize, head_bytes);
+      const std::span<std::byte> tail = std::span<std::byte>(payload).subspan(head_bytes);
+      read_sync(unit, lba + window, hdr->batch_size - (window - 1), tail);
+      payload_crc = crc32_combine(crc32(std::span<const std::byte>(payload.data(), head_bytes)),
+                                  crc32(tail), tail.size());
     }
-    const bool intact = payload_image_crc(payload) == hdr->payload_crc;
+    const bool intact = payload_crc == hdr->payload_crc;
 
     if (!intact) {
       // Only the final (unacknowledged) physical write can be torn; by

@@ -694,8 +694,12 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
   if (unit.inflight.empty()) return false;  // nothing serviceable right now
 
   // ---- Serialize: [hdr][escaped payload]... contiguous from first_pos ----
+  // The image is built in the driver-owned arena (no per-append heap
+  // allocation) and every payload byte is touched once: copied in, then
+  // escaped+checksummed in a single streaming pass.
   const std::uint32_t total = pos - first_pos;
-  std::vector<std::byte> image(static_cast<std::size_t>(total) * disk::kSectorSize);
+  const std::span<std::byte> image =
+      serialize_arena_.acquire(static_cast<std::size_t>(total) * disk::kSectorSize);
   std::size_t off = 0;
   for (BuiltRecord& rec : unit.inflight) {
     const std::size_t header_off = off;
@@ -708,18 +712,11 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
                   static_cast<std::size_t>(part.count) * disk::kSectorSize);
       off += static_cast<std::size_t>(part.count) * disk::kSectorSize;
     }
-    // Escape payload first bytes; stash originals in the header.
-    for (std::uint32_t s = 0; s < rec.header.batch_size; ++s) {
-      std::span<std::byte> sector(
-          image.data() + payload_off + static_cast<std::size_t>(s) * disk::kSectorSize,
-          disk::kSectorSize);
-      rec.header.entries[s].first_data_byte = escape_payload_sector(sector);
-    }
-    rec.header.payload_crc = payload_image_crc(std::span<const std::byte>(
-        image.data() + payload_off,
-        static_cast<std::size_t>(rec.header.batch_size) * disk::kSectorSize));
-    serialize_record_header(rec.header,
-                            std::span<std::byte>(image.data() + header_off, disk::kSectorSize));
+    rec.header.payload_crc = escape_payload_image(
+        image.subspan(payload_off,
+                      static_cast<std::size_t>(rec.header.batch_size) * disk::kSectorSize),
+        rec.header.entries);
+    serialize_record_header(rec.header, image.subspan(header_off, disk::kSectorSize));
   }
 
   unit.allocator->occupy(first_pos, total, static_cast<std::uint32_t>(unit.inflight.size()));

@@ -194,6 +194,10 @@ class TrailDriver final : public io::BlockDriver {
   /// Pending synchronous writes not yet on a log disk (queue depth).
   [[nodiscard]] std::size_t log_queue_depth() const { return pending_.size(); }
 
+  /// Times the serialization arena had to grow (tests pin the zero-
+  /// allocation-per-append property: after warm-up this stops moving).
+  [[nodiscard]] std::uint64_t serialize_arena_grows() const { return serialize_arena_.grows(); }
+
   /// Cross-layer invariant audit (trail::audit, DESIGN.md §9): component
   /// self-audits (staging buffer, per-unit allocators, every platter)
   /// plus the driver-level cross-checks — live records vs allocator
@@ -236,6 +240,26 @@ class TrailDriver final : public io::BlockDriver {
     };
     std::vector<Part> parts;
   };
+  /// Reusable backing store for physical-write serialization images.
+  /// Capacity only ever grows, so steady-state appends build the
+  /// [header][escaped payload]... image with zero heap allocations; the
+  /// grow counter lets tests pin that property.
+  class SerializeArena {
+   public:
+    [[nodiscard]] std::span<std::byte> acquire(std::size_t bytes) {
+      if (bytes > buf_.size()) {
+        ++grows_;
+        buf_.resize(bytes);
+      }
+      return std::span<std::byte>(buf_.data(), bytes);
+    }
+    [[nodiscard]] std::uint64_t grows() const { return grows_; }
+
+   private:
+    std::vector<std::byte> buf_;
+    std::uint64_t grows_ = 0;
+  };
+
   /// One log disk and its driving state.
   struct LogUnit {
     disk::DiskDevice* device = nullptr;
@@ -287,6 +311,9 @@ class TrailDriver final : public io::BlockDriver {
   std::uint32_t last_record_ptr_ = kNoPrevRecord;  // prev_sect chain tail
 
   std::deque<PendingWrite> pending_;
+  /// Backing store for the [header][payload]... image of each physical
+  /// log write; reused across appends (see serialize_arena_grows()).
+  SerializeArena serialize_arena_;
 
   /// Live (not fully written back) records, keyed by record_key: the
   /// in-memory mirror of the log's active portion; begin() is log_head.

@@ -5,22 +5,161 @@
 
 namespace trail::obs {
 
+namespace {
+
+// Event encoding: one mask byte, then varint fields for what changed.
+//   bits 0-1  TracePhase
+//   bit  2    has_value (value zigzag-delta follows the timestamp/dur)
+//   bit  3    name differs from the previous event (interned id follows)
+//   bit  4    cat differs (interned id follows)
+//   bit  5    tid differs (tid follows)
+// The timestamp zigzag-delta is always present; the duration varint is
+// present exactly for kComplete events.
+constexpr std::uint8_t kPhaseMask = 0x03;
+constexpr std::uint8_t kHasValue = 0x04;
+constexpr std::uint8_t kNameChanged = 0x08;
+constexpr std::uint8_t kCatChanged = 0x10;
+constexpr std::uint8_t kTidChanged = 0x20;
+
+void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& off) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = buf[off++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
 EventTracer::EventTracer(const sim::Simulator& sim, std::size_t capacity)
-    : sim_(&sim), ring_(capacity == 0 ? 1 : capacity) {}
+    : sim_(&sim), cap_events_(capacity == 0 ? 1 : capacity) {}
 
 void EventTracer::set_track_name(std::uint32_t tid, std::string name) {
   track_names_[tid] = std::move(name);
 }
 
+std::uint32_t EventTracer::intern(const char* s) {
+  const auto [it, inserted] = intern_ids_.try_emplace(s, static_cast<std::uint32_t>(interned_.size()));
+  if (inserted) interned_.push_back(s);
+  return it->second;
+}
+
 void EventTracer::push(const TraceEvent& e) {
-  if (count_ == ring_.size()) {
-    ring_[head_] = e;  // overwrite the oldest
-    head_ = (head_ + 1) % ring_.size();
-    ++dropped_;
-    return;
+  if (count_ == cap_events_) drop_oldest();
+  std::uint8_t mask = static_cast<std::uint8_t>(e.ph) & kPhaseMask;
+  if (e.has_value) mask |= kHasValue;
+  if (e.name != tail_state_.name) mask |= kNameChanged;
+  if (e.cat != tail_state_.cat) mask |= kCatChanged;
+  if (e.tid != tail_state_.tid) mask |= kTidChanged;
+  buf_.push_back(mask);
+  if ((mask & kNameChanged) != 0) {
+    tail_state_.name = e.name;
+    tail_state_.name_id = intern(e.name);
+    put_varint(buf_, tail_state_.name_id);
   }
-  ring_[(head_ + count_) % ring_.size()] = e;
+  if ((mask & kCatChanged) != 0) {
+    tail_state_.cat = e.cat;
+    tail_state_.cat_id = intern(e.cat);
+    put_varint(buf_, tail_state_.cat_id);
+  }
+  if ((mask & kTidChanged) != 0) {
+    tail_state_.tid = e.tid;
+    put_varint(buf_, e.tid);
+  }
+  put_varint(buf_, zigzag(e.ts_ns - tail_state_.ts));
+  tail_state_.ts = e.ts_ns;
+  if (e.ph == TracePhase::kComplete) put_varint(buf_, static_cast<std::uint64_t>(e.dur_ns));
+  if (e.has_value) {
+    put_varint(buf_, zigzag(e.value - tail_state_.value));
+    tail_state_.value = e.value;
+  }
   ++count_;
+}
+
+TraceEvent EventTracer::decode(std::size_t& off, FieldState& state) const {
+  const std::uint8_t mask = buf_[off++];
+  if ((mask & kNameChanged) != 0) {
+    state.name_id = static_cast<std::uint32_t>(get_varint(buf_, off));
+    state.name = interned_[state.name_id];
+  }
+  if ((mask & kCatChanged) != 0) {
+    state.cat_id = static_cast<std::uint32_t>(get_varint(buf_, off));
+    state.cat = interned_[state.cat_id];
+  }
+  if ((mask & kTidChanged) != 0) state.tid = static_cast<std::uint32_t>(get_varint(buf_, off));
+  state.ts += unzigzag(get_varint(buf_, off));
+  TraceEvent e;
+  e.name = state.name;
+  e.cat = state.cat;
+  e.tid = state.tid;
+  e.ts_ns = state.ts;
+  e.ph = static_cast<TracePhase>(mask & kPhaseMask);
+  if (e.ph == TracePhase::kComplete)
+    e.dur_ns = static_cast<std::int64_t>(get_varint(buf_, off));
+  if ((mask & kHasValue) != 0) {
+    state.value += unzigzag(get_varint(buf_, off));
+    e.value = state.value;
+    e.has_value = true;
+  }
+  return e;
+}
+
+void EventTracer::drop_oldest() {
+  decode(head_off_, head_state_);
+  --count_;
+  ++dropped_;
+  // Shift the sequential cursor: yesterday's index i is today's i-1.
+  if (cursor_valid_) {
+    if (cursor_index_ == 0)
+      cursor_valid_ = false;
+    else
+      --cursor_index_;
+  }
+  compact();
+}
+
+void EventTracer::compact() {
+  // Reclaim the decoded prefix once it dominates the buffer, so memory
+  // tracks the retained events rather than everything ever captured.
+  if (head_off_ < (1u << 16) || head_off_ * 2 < buf_.size()) return;
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_off_));
+  if (cursor_valid_) cursor_off_ -= head_off_;
+  head_off_ = 0;
+}
+
+TraceEvent EventTracer::at(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("EventTracer::at");
+  if (!cursor_valid_ || i < cursor_index_) {
+    cursor_index_ = 0;
+    cursor_off_ = head_off_;
+    cursor_state_ = head_state_;
+    cursor_valid_ = true;
+  }
+  TraceEvent e;
+  do {
+    e = decode(cursor_off_, cursor_state_);
+    ++cursor_index_;
+  } while (cursor_index_ <= i);
+  return e;
 }
 
 void EventTracer::complete(const char* name, const char* cat, sim::TimePoint begin,
@@ -76,9 +215,16 @@ void EventTracer::counter(const char* name, const char* cat, std::int64_t value,
 }
 
 void EventTracer::clear() {
-  head_ = 0;
+  buf_.clear();
+  buf_.shrink_to_fit();
+  head_off_ = 0;
   count_ = 0;
   dropped_ = 0;
+  tail_state_ = FieldState{};
+  head_state_ = FieldState{};
+  cursor_valid_ = false;
+  // The intern table survives (pointers are literals and ids are only
+  // meaningful alongside buffered events, which are gone).
 }
 
 namespace {
@@ -105,8 +251,10 @@ std::string EventTracer::export_chrome_json() const {
     out += buf;
     first = false;
   }
+  std::size_t off = head_off_;
+  FieldState state = head_state_;
   for (std::size_t i = 0; i < count_; ++i) {
-    const TraceEvent& e = at(i);
+    const TraceEvent e = decode(off, state);
     std::snprintf(buf, sizeof buf, "%s{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%u,",
                   first ? "" : ",", e.name, e.cat, e.tid);
     out += buf;

@@ -1,9 +1,9 @@
 // Event tracing for the observability layer (trail::obs).
 //
-// A bounded ring buffer of typed events stamped with SIMULATED time:
-// traces answer "why did the batching factor move" in virtual-time
-// terms, and — because the simulation is deterministic — two runs of the
-// same seed export byte-identical traces, which the test suite checks.
+// A bounded ring of typed events stamped with SIMULATED time: traces
+// answer "why did the batching factor move" in virtual-time terms, and —
+// because the simulation is deterministic — two runs of the same seed
+// export byte-identical traces, which the test suite checks.
 //
 // Event kinds map onto the Chrome trace-event format (loadable in
 // chrome://tracing and Perfetto):
@@ -13,8 +13,18 @@
 //   * instant  ("i")  — a point event, optionally carrying a value;
 //   * counter  ("C")  — a sampled level (queue depth lanes).
 //
+// Storage uses the delta/mask capture idiom of hardware trace loggers:
+// instead of a fixed 40+-byte struct per event, each event is one mask
+// byte naming which fields differ from the previous event, followed by
+// varint-encoded deltas for just those fields (timestamps zigzag-delta
+// against the previous event, names/categories intern to small ids).
+// Consecutive hot-path events mostly repeat name/cat/tid, so a typical
+// event costs a handful of bytes — million-event production traces stay
+// cheap to retain — while decode reconstructs the exact TraceEvent
+// sequence, keeping exports byte-identical to the uncompressed form.
+//
 // Names and categories are `const char*` and must be string literals
-// (or otherwise outlive the tracer): events store the pointers only.
+// (or otherwise outlive the tracer): events store interned pointers.
 // When the tracer is disabled every emit call is a single predictable
 // branch; ScopedSpan degenerates to storing one null pointer.
 #pragma once
@@ -44,6 +54,8 @@ struct TraceEvent {
 
 class EventTracer {
  public:
+  /// `capacity` bounds RETAINED EVENTS (not bytes); the oldest event is
+  /// evicted when a push would exceed it, exactly as the old fixed ring.
   explicit EventTracer(const sim::Simulator& sim, std::size_t capacity = 1 << 16);
 
   void set_enabled(bool on) { enabled_ = on; }
@@ -64,13 +76,18 @@ class EventTracer {
 
   /// Events currently retained (<= capacity).
   [[nodiscard]] std::size_t size() const { return count_; }
-  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
-  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::size_t capacity() const { return cap_events_; }
+  /// Events evicted because the ring was full.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
-  /// Oldest-first event access (i in [0, size())).
-  [[nodiscard]] const TraceEvent& at(std::size_t i) const {
-    return ring_[(head_ + i) % ring_.size()];
-  }
+  /// Oldest-first event access (i in [0, size())). Sequential access is
+  /// O(1) amortized via an internal decode cursor; random access decodes
+  /// forward from the oldest retained event.
+  [[nodiscard]] TraceEvent at(std::size_t i) const;
+
+  /// Bytes currently held by the delta/mask-encoded event stream — the
+  /// compression the capture path buys (compare against
+  /// size() * sizeof(TraceEvent) for the fixed-slot cost).
+  [[nodiscard]] std::size_t encoded_bytes() const { return buf_.size() - head_off_; }
 
   void clear();
 
@@ -80,14 +97,48 @@ class EventTracer {
   [[nodiscard]] std::string export_chrome_json() const;
 
  private:
+  /// Absolute field values at a point in the stream; the delta codec's
+  /// reference. Default-initialized == the state before the first event.
+  struct FieldState {
+    const char* name = nullptr;
+    const char* cat = nullptr;
+    std::uint32_t name_id = 0;
+    std::uint32_t cat_id = 0;
+    std::uint32_t tid = 0;
+    std::int64_t ts = 0;
+    std::int64_t value = 0;
+  };
+
   void push(const TraceEvent& e);
+  void drop_oldest();
+  void compact();
+  [[nodiscard]] std::uint32_t intern(const char* s);
+  /// Decode the event at byte offset `off` given the prior state; both
+  /// advance past it.
+  TraceEvent decode(std::size_t& off, FieldState& state) const;
 
   const sim::Simulator* sim_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;
+  std::size_t cap_events_;
+  std::vector<std::uint8_t> buf_;  // delta/mask event stream
+  std::size_t head_off_ = 0;       // byte offset of the oldest event
   std::size_t count_ = 0;
   std::uint64_t dropped_ = 0;
   bool enabled_ = false;
+
+  FieldState tail_state_;  // encoder reference: the last captured event
+  FieldState head_state_;  // decoder reference: state before the oldest event
+
+  // Name/category interning (pointer identity; literals repeat).
+  std::vector<const char*> interned_{nullptr};  // id 0 == "no name yet"
+  std::map<const char*, std::uint32_t> intern_ids_;
+
+  // Sequential-access cursor for at(): the state needed to decode event
+  // index cursor_index_ at byte offset cursor_off_.
+  mutable bool cursor_valid_ = false;
+  mutable std::size_t cursor_index_ = 0;
+  mutable std::size_t cursor_off_ = 0;
+  mutable FieldState cursor_state_;
+
   std::map<std::uint32_t, std::string> track_names_;
 };
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/crc32.hpp"
 #include "core/log_format.hpp"
@@ -26,6 +29,94 @@ TEST(Crc32, DetectsSingleBitFlip) {
   const std::uint32_t c = crc32(data);
   data[17] ^= std::byte{0x01};
   EXPECT_NE(crc32(data), c);
+}
+
+// Shift-register reference: the polynomial definition itself, no tables.
+// Every production tier must match this bit-for-bit.
+std::uint32_t crc32_bitwise(std::span<const std::byte> data, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    c ^= std::to_integer<std::uint8_t>(b);
+    for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) != 0 ? 0xEDB88320u : 0u);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+TEST(Crc32Property, AllTiersMatchBitwiseReference) {
+  // Random lengths (biased to cover the hw tier's >= 64-byte bulk
+  // threshold and its %16 tail peeling), random base alignments, random
+  // seeds. The dispatched entry point and each forced tier must all
+  // agree with the shift-register reference.
+  sim::Rng rng(2024);
+  std::vector<std::byte> pool(4096 + 8);
+  for (auto& b : pool) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform(0, trial % 2 == 0 ? 96 : 4096));
+    const auto align = static_cast<std::size_t>(rng.uniform(0, 7));
+    const auto seed = static_cast<std::uint32_t>(rng.next());
+    const std::span<const std::byte> data(pool.data() + align, len);
+    const std::uint32_t want = crc32_bitwise(data, seed);
+    EXPECT_EQ(crc32(data, seed), want) << "len=" << len << " align=" << align;
+    EXPECT_EQ(detail::crc32_with(CrcImpl::kTable, data, seed), want);
+    EXPECT_EQ(detail::crc32_with(CrcImpl::kSliced, data, seed), want);
+    EXPECT_EQ(detail::crc32_with(CrcImpl::kHw, data, seed), want);
+  }
+}
+
+TEST(Crc32Property, ChainingAndAccumulatorAgree) {
+  // crc32(a || b) == crc32(b, crc32(a)), and the incremental accumulator
+  // over arbitrary split points equals the one-shot CRC.
+  sim::Rng rng(7);
+  std::vector<std::byte> data(1500);
+  for (auto& b : data) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+  const std::uint32_t whole = crc32(data);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto cut = static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(data.size())));
+    const std::span<const std::byte> a(data.data(), cut);
+    const std::span<const std::byte> b(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc32(b, crc32(a)), whole);
+    Crc32 acc;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const auto step = std::min<std::size_t>(
+          data.size() - off, static_cast<std::size_t>(rng.uniform(0, 200)));
+      acc.update({data.data() + off, step});
+      off += step;
+    }
+    EXPECT_EQ(acc.value(), whole);
+  }
+}
+
+TEST(Crc32Property, CombineIdentities) {
+  sim::Rng rng(11);
+  std::vector<std::byte> data(2048);
+  for (auto& b : data) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto cut = static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(data.size())));
+    const std::span<const std::byte> a(data.data(), cut);
+    const std::span<const std::byte> b(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc32_combine(crc32(a), crc32(b), b.size()), crc32(data)) << "cut=" << cut;
+  }
+  // Empty-span neutrality on both sides.
+  const std::uint32_t c = crc32(data);
+  EXPECT_EQ(crc32_combine(c, crc32(std::span<const std::byte>{}), 0), c);
+  EXPECT_EQ(crc32_combine(crc32(std::span<const std::byte>{}), c, data.size()), c);
+}
+
+TEST(Crc32Property, DispatchReportsConsistentTier) {
+  const CrcImpl impl = crc32_impl();
+  const std::string name = crc32_impl_name();
+  switch (impl) {
+    case CrcImpl::kTable:
+      EXPECT_EQ(name, "table");
+      break;
+    case CrcImpl::kSliced:
+      EXPECT_EQ(name, "sliced");
+      break;
+    case CrcImpl::kHw:
+      EXPECT_EQ(name, "hw");
+      break;
+  }
 }
 
 TEST(DiskHeader, RoundTrip) {
@@ -181,6 +272,108 @@ TEST(ClassifySector, OtherBytes) {
   sector[0] = std::byte{0x7F};
   EXPECT_EQ(classify_sector(sector), SectorKind::kOther);
   EXPECT_EQ(classify_sector({}), SectorKind::kOther);
+}
+
+TEST(Escaping, SinglePassImageMatchesPerSectorPath) {
+  // escape_payload_image (one pass, CRC folded in) must be byte- and
+  // CRC-identical to the legacy two-pass path: escape each sector, then
+  // payload_image_crc over the escaped image.
+  sim::Rng rng(123);
+  for (int batch : {1, 3, 8}) {
+    std::vector<std::byte> image(static_cast<std::size_t>(batch) * kSectorSize);
+    for (auto& b : image) b = std::byte(static_cast<std::uint8_t>(rng.next()));
+    std::vector<std::byte> reference = image;
+
+    std::vector<RecordEntry> legacy(static_cast<std::size_t>(batch));
+    for (int s = 0; s < batch; ++s)
+      legacy[static_cast<std::size_t>(s)].first_data_byte = escape_payload_sector(
+          std::span<std::byte>(reference.data() + static_cast<std::size_t>(s) * kSectorSize,
+                               kSectorSize));
+    const std::uint32_t legacy_crc = payload_image_crc(reference);
+
+    std::vector<RecordEntry> entries(static_cast<std::size_t>(batch));
+    EXPECT_EQ(escape_payload_image(image, entries), legacy_crc);
+    EXPECT_EQ(image, reference);
+    for (int s = 0; s < batch; ++s)
+      EXPECT_EQ(entries[static_cast<std::size_t>(s)].first_data_byte,
+                legacy[static_cast<std::size_t>(s)].first_data_byte);
+  }
+  std::vector<std::byte> image(kSectorSize);
+  std::vector<RecordEntry> wrong(2);
+  EXPECT_THROW(static_cast<void>(escape_payload_image(image, wrong)), std::invalid_argument);
+}
+
+// On-disk format lock-in: an image committed before the codec overhaul
+// must parse losslessly AND re-serialize to the exact same bytes with
+// the current codec. If this fails, the change broke compatibility with
+// existing log disks.
+TEST(GoldenImage, PrePrLogImageRoundTripsByteExact) {
+  const std::string path = std::string(TRAIL_TEST_DATA_DIR) + "/golden_log_image.bin";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::vector<std::byte> golden(8 * kSectorSize);
+  in.read(reinterpret_cast<char*>(golden.data()), static_cast<std::streamsize>(golden.size()));
+  ASSERT_EQ(in.gcount(), static_cast<std::streamsize>(golden.size()));
+
+  auto sec = [&](int i) {
+    return std::span<const std::byte>(golden.data() + static_cast<std::size_t>(i) * kSectorSize,
+                                      kSectorSize);
+  };
+
+  // Parse every sector with the current codec.
+  const auto disk_hdr = parse_disk_header(sec(0));
+  ASSERT_TRUE(disk_hdr.has_value());
+  EXPECT_EQ(*disk_hdr, (LogDiskHeader{7, 0, 3}));
+
+  const auto geom = parse_geometry(sec(1));
+  ASSERT_TRUE(geom.has_value());
+  EXPECT_EQ(geom->geometry.surfaces(), 2u);
+  EXPECT_DOUBLE_EQ(geom->rpm, 5400.0);
+
+  const auto rec = parse_record_header(sec(2));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->batch_size, 5u);
+  EXPECT_EQ(rec->epoch, 7u);
+  EXPECT_EQ(rec->sequence_id, 42u);
+  ASSERT_EQ(rec->entries.size(), 5u);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(rec->entries[s].log_lba, 200 + s);
+    EXPECT_EQ(rec->entries[s].data_lba, 5000 + 3 * s);
+    EXPECT_EQ(rec->entries[s].data_major, 1);
+    EXPECT_EQ(rec->entries[s].data_minor, s);
+  }
+
+  // Escaped payload checks out against the stored CRC, and unescaping
+  // recovers the original generator pattern.
+  const std::span<const std::byte> payload(golden.data() + 3 * kSectorSize, 5 * kSectorSize);
+  EXPECT_EQ(payload_image_crc(payload), rec->payload_crc);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    SectorBuf plain{};
+    std::memcpy(plain.data(), golden.data() + (3 + s) * kSectorSize, kSectorSize);
+    unescape_payload_sector(plain, rec->entries[s].first_data_byte);
+    for (std::size_t j = 0; j < kSectorSize; ++j)
+      ASSERT_EQ(plain[j], std::byte(static_cast<std::uint8_t>((s * 37 + j * 11) & 0xFF)))
+          << "sector " << s << " byte " << j;
+  }
+
+  // Re-serialize everything with the current encoder: byte-exact.
+  std::vector<std::byte> rebuilt(8 * kSectorSize);
+  auto out = [&](int i) {
+    return std::span<std::byte>(rebuilt.data() + static_cast<std::size_t>(i) * kSectorSize,
+                                kSectorSize);
+  };
+  serialize_disk_header(*disk_hdr, out(0));
+  serialize_geometry(geom->geometry, geom->rpm, out(1));
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    auto p = out(static_cast<int>(3 + s));
+    for (std::size_t j = 0; j < kSectorSize; ++j)
+      p[j] = std::byte(static_cast<std::uint8_t>((s * 37 + j * 11) & 0xFF));
+  }
+  RecordHeader hdr = *rec;
+  std::span<std::byte> payload_out(rebuilt.data() + 3 * kSectorSize, 5 * kSectorSize);
+  hdr.payload_crc = escape_payload_image(payload_out, hdr.entries);
+  serialize_record_header(hdr, out(2));
+  EXPECT_EQ(rebuilt, golden);
 }
 
 }  // namespace

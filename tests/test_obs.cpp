@@ -147,6 +147,59 @@ TEST(EventTracer, RingWraparoundKeepsNewestAndCountsDropped) {
   EXPECT_EQ(tracer.dropped(), 0u);
 }
 
+TEST(EventTracer, DeltaEncodingStaysCompactOnHotPath) {
+  // A hot-path-shaped stream (repeating names/cats, monotone timestamps,
+  // slowly-moving values) must encode far below the fixed-slot cost of
+  // sizeof(TraceEvent) per event — the point of the delta/mask codec.
+  sim::Simulator sim;
+  EventTracer tracer(sim, 1 << 14);
+  tracer.set_enabled(true);
+  constexpr int kEvents = 10'000;
+  for (int i = 0; i < kEvents; ++i) {
+    tracer.complete("log.append", "log", sim::TimePoint{i * 1000}, sim::micros(2), 3);
+    tracer.counter("queue.depth", "io", i % 16, 3);
+  }
+  EXPECT_EQ(tracer.size(), 1u << 14);
+  const double per_event =
+      static_cast<double>(tracer.encoded_bytes()) / static_cast<double>(tracer.size());
+  EXPECT_LT(per_event, static_cast<double>(sizeof(TraceEvent)) / 3.0)
+      << "delta codec regressed to near-fixed-slot size";
+}
+
+TEST(EventTracer, LongEvictionStreamStaysBoundedAndCorrect) {
+  // Push far past capacity so head-drop and buffer compaction both run
+  // many times; retained events must still decode exactly, and the byte
+  // buffer must track retained events instead of the full history.
+  sim::Simulator sim;
+  constexpr std::size_t kCap = 512;
+  EventTracer tracer(sim, kCap);
+  tracer.set_enabled(true);
+  constexpr int kTotal = 300'000;
+  for (int i = 0; i < kTotal; ++i) {
+    if (i % 3 == 0)
+      tracer.counter("depth", "io", i % 7, static_cast<std::uint32_t>(i % 4));
+    else
+      tracer.instant_value("tick", "test", i, static_cast<std::uint32_t>(i % 4));
+  }
+  EXPECT_EQ(tracer.size(), kCap);
+  EXPECT_EQ(tracer.dropped(), static_cast<std::uint64_t>(kTotal) - kCap);
+  for (std::size_t i = 0; i < kCap; ++i) {
+    const int seq = kTotal - static_cast<int>(kCap) + static_cast<int>(i);
+    const TraceEvent e = tracer.at(i);
+    EXPECT_EQ(e.tid, static_cast<std::uint32_t>(seq % 4));
+    if (seq % 3 == 0) {
+      EXPECT_EQ(e.ph, TracePhase::kCounter);
+      EXPECT_EQ(e.value, seq % 7);
+    } else {
+      EXPECT_EQ(e.ph, TracePhase::kInstant);
+      EXPECT_EQ(e.value, seq);
+    }
+  }
+  // Compaction keeps memory proportional to retained events, not to the
+  // 300k pushed: generous bound of 64 KiB reclaim slack + retained bytes.
+  EXPECT_LT(tracer.encoded_bytes(), kCap * sizeof(TraceEvent) + (1u << 17));
+}
+
 TEST(EventTracer, DisabledTracerRecordsNothing) {
   sim::Simulator sim;
   EventTracer tracer(sim, 8);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 
 #include "trail_fixture.hpp"
@@ -284,6 +285,34 @@ TEST_F(TrailDriverTest, StatsAreCoherent) {
   EXPECT_EQ(s.writeback_sectors + 0u, 20u);
   EXPECT_EQ(driver->buffers().pending_records(), 0u);
   EXPECT_EQ(driver->log_queue_depth(), 0u);
+}
+
+TEST_F(TrailDriverTest, SerializeArenaStopsGrowingAfterWarmup) {
+  // The append serialization path must be allocation-free at steady
+  // state: the driver-owned arena grows until it has seen the largest
+  // record image, then every further append reuses it. A growth counter
+  // that keeps climbing means a per-append allocation crept back in.
+  start();
+  for (int i = 0; i < 4; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(100 + i * 8)}, make_pattern(4, i));
+  settle();
+  const std::uint64_t grows_after_warmup = driver->serialize_arena_grows();
+  EXPECT_GT(grows_after_warmup, 0u);
+  for (int i = 0; i < 40; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(400 + i * 8)}, make_pattern(4, 50 + i));
+  settle();
+  EXPECT_EQ(driver->serialize_arena_grows(), grows_after_warmup);
+  // Larger batches may grow the arena a few more times (track splits
+  // make record sizes vary), but growth is monotone and bounded by the
+  // largest record image — steady-state large writes must stop growing.
+  for (int i = 0; i < 6; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(800 + i * 20)}, make_pattern(16, 7 + i));
+  settle();
+  const std::uint64_t grows_after_big = driver->serialize_arena_grows();
+  for (int i = 0; i < 6; ++i)
+    write_sync({devices[0], static_cast<disk::Lba>(1000 + i * 20)}, make_pattern(16, 80 + i));
+  settle();
+  EXPECT_EQ(driver->serialize_arena_grows(), grows_after_big);
 }
 
 TEST_F(TrailDriverTest, WriteBeforeMountThrows) {
