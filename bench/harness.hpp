@@ -11,6 +11,7 @@
 
 #include "core/delta_calibrator.hpp"
 #include "core/format_tool.hpp"
+#include "core/sharded_driver.hpp"
 #include "core/trail_driver.hpp"
 #include "disk/disk_device.hpp"
 #include "disk/profile.hpp"
@@ -52,6 +53,39 @@ struct TrailStack {
   }
 };
 
+/// The scale-out stack: one log disk per shard behind a ShardedDriver.
+/// δ is calibrated once on shard 0's disk (all shards share a profile).
+struct ShardedStack {
+  sim::Simulator sim;
+  obs::Obs obs{sim};
+  std::vector<std::unique_ptr<disk::DiskDevice>> log_disks;
+  std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
+  std::unique_ptr<core::ShardedDriver> driver;
+  std::vector<io::DeviceId> devices;
+
+  explicit ShardedStack(std::size_t shards, int data_disk_count = 3,
+                        core::ShardedConfig config = {},
+                        disk::DiskProfile log_profile = disk::st41601n(),
+                        disk::DiskProfile data_profile = disk::wd_caviar_10g()) {
+    std::vector<disk::DiskDevice*> raw;
+    for (std::size_t k = 0; k < shards; ++k) {
+      log_disks.push_back(std::make_unique<disk::DiskDevice>(sim, log_profile));
+      core::format_log_disk(*log_disks.back());
+      raw.push_back(log_disks.back().get());
+    }
+    for (int i = 0; i < data_disk_count; ++i)
+      data_disks.push_back(std::make_unique<disk::DiskDevice>(sim, data_profile));
+    if (config.shard.delta == sim::Duration{0}) {
+      const auto calib = core::DeltaCalibrator::run(sim, *log_disks[0], /*probe_track=*/1);
+      config.shard.delta = calib.delta_time;
+    }
+    driver = std::make_unique<core::ShardedDriver>(sim, raw, config);
+    driver->attach_obs(&obs);
+    for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
+    driver->mount();
+  }
+};
+
 /// The baseline: data disks behind the standard elevator driver.
 struct StandardStack {
   sim::Simulator sim;
@@ -86,12 +120,28 @@ struct SyncWriteWorkload {
     std::uint64_t seed = 42;
   };
 
+  /// Post-warmup throughput accounting. Only *measured* (post-warmup)
+  /// acknowledgements count, over the wall-clock interval from the first
+  /// measured submission to the last measured acknowledgement — warmup
+  /// writes and the warmup phase's wall time never enter the rate.
+  struct Timing {
+    sim::TimePoint first_measured_submit{};
+    sim::TimePoint last_measured_ack{};
+    std::uint64_t measured_acks = 0;
+    bool started = false;
+
+    [[nodiscard]] double throughput_wps() const {
+      const double sec = (last_measured_ack - first_measured_submit).sec();
+      return sec > 0 ? static_cast<double>(measured_acks) / sec : 0.0;
+    }
+  };
+
   /// Runs to completion; returns the per-write latency histogram (ns
   /// units — read back through the *_ms accessors). O(1) per sample, so
   /// the bench hot loops never pay sample-vector growth or sorting.
   static obs::Histogram run(sim::Simulator& sim, io::BlockDriver& driver,
                             const std::vector<io::DeviceId>& devices, disk::Lba device_sectors,
-                            const Params& p) {
+                            const Params& p, Timing* timing = nullptr) {
     auto latencies = std::make_shared<obs::Histogram>();
     auto remaining = std::make_shared<std::uint32_t>(p.processes);
     sim::Rng seeder(p.seed);
@@ -107,7 +157,8 @@ struct SyncWriteWorkload {
       st->rng = seeder.split();
       st->data.assign(static_cast<std::size_t>(p.write_sectors) * disk::kSectorSize,
                       std::byte{0x5A});
-      st->next = [st, &sim, &driver, &devices, device_sectors, p, latencies, remaining] {
+      st->next = [st, &sim, &driver, &devices, device_sectors, p, latencies, remaining,
+                  timing] {
         if (st->issued >= p.writes_per_process + p.warmup_per_process) {
           st->next = nullptr;  // we run as a copy; breaking the cycle is safe
           --*remaining;
@@ -120,10 +171,20 @@ struct SyncWriteWorkload {
         const auto lba = static_cast<disk::Lba>(st->rng.uniform(
             0, static_cast<std::int64_t>(device_sectors - p.write_sectors - 1)));
         const sim::TimePoint t0 = sim.now();
+        if (measured && timing != nullptr && !timing->started) {
+          timing->started = true;
+          timing->first_measured_submit = t0;
+        }
         driver.submit_write(
             io::BlockAddr{dev, lba}, p.write_sectors, st->data,
-            [st, &sim, p, latencies, measured, t0] {
-              if (measured) latencies->record(sim.now() - t0);
+            [st, &sim, p, latencies, measured, t0, timing] {
+              if (measured) {
+                latencies->record(sim.now() - t0);
+                if (timing != nullptr) {
+                  ++timing->measured_acks;
+                  timing->last_measured_ack = sim.now();
+                }
+              }
               if (!st->next) return;
               if (p.clustered) {
                 auto go = st->next;

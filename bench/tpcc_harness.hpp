@@ -26,7 +26,8 @@ inline const char* storage_config_name(StorageConfig c) {
 }
 
 struct TpccRig {
-  std::unique_ptr<TrailStack> trail;        // set for kTrail
+  std::unique_ptr<TrailStack> trail;        // set for kTrail, trail_shards == 1
+  std::unique_ptr<ShardedStack> sharded;    // set for kTrail, trail_shards > 1
   std::unique_ptr<StandardStack> standard;  // set otherwise
   std::vector<std::unique_ptr<fs::Filesystem>> filesystems;  // "EXT2"
   std::unique_ptr<db::Database> database;
@@ -41,6 +42,10 @@ struct TpccRig {
     std::size_t log_buffer_bytes = 50 * 1024;
     std::uint64_t seed = 20020625;  // DSN 2002
     core::TrailConfig trail_config{};  // used when config == kTrail
+    /// kTrail only: > 1 fronts the data disks with a ShardedDriver of
+    /// this many extent-hash-routed TrailDriver shards (one log disk
+    /// each) instead of a single TrailDriver.
+    std::size_t trail_shards = 1;
     /// §6 future work: WAL records appended straight to the Trail log disk
     /// (kTrail only) instead of to the log-file device.
     bool direct_logging = false;
@@ -56,7 +61,16 @@ struct TpccRig {
     io::BlockDriver* block = nullptr;
     sim::Simulator* sim = nullptr;
     io::DeviceId log_id, main_id, item_id;
-    if (cfg == StorageConfig::kTrail) {
+    if (cfg == StorageConfig::kTrail && opt.trail_shards > 1) {
+      core::ShardedConfig scfg;
+      scfg.shard = opt.trail_config;
+      sharded = std::make_unique<ShardedStack>(opt.trail_shards, 3, scfg);
+      block = sharded->driver.get();
+      sim = &sharded->sim;
+      log_id = sharded->devices[0];
+      main_id = sharded->devices[1];
+      item_id = sharded->devices[2];
+    } else if (cfg == StorageConfig::kTrail) {
       trail = std::make_unique<TrailStack>(3, opt.trail_config);
       block = trail->driver.get();
       sim = &trail->sim;
@@ -78,7 +92,7 @@ struct TpccRig {
     // write plus an inode write on the standard rows; under Trail both
     // coalesce into the same batched log write.
     {
-      auto& disks = cfg == StorageConfig::kTrail ? trail->data_disks : standard->data_disks;
+      auto& disks = data_disks();
       const io::DeviceId ids[3] = {log_id, main_id, item_id};
       for (int i = 0; i < 3; ++i) {
         fs::mkfs(*disks[i], fs::MkfsParams{0, disks[i]->geometry().total_sectors()});
@@ -88,11 +102,12 @@ struct TpccRig {
       }
     }
     if (opt.direct_logging) {
-      if (cfg != StorageConfig::kTrail)
-        throw std::invalid_argument("direct logging requires the Trail configuration");
+      if (cfg != StorageConfig::kTrail || trail == nullptr)
+        throw std::invalid_argument(
+            "direct logging requires the single-driver Trail configuration");
       database->enable_direct_logging(*trail->driver);
     }
-    auto& disks = cfg == StorageConfig::kTrail ? trail->data_disks : standard->data_disks;
+    auto& disks = data_disks();
     database->attach_device(log_id, *disks[0]);
     database->attach_device(main_id, *disks[1]);
     database->attach_device(item_id, *disks[2]);
@@ -102,8 +117,16 @@ struct TpccRig {
     tpcc_db->populate(rng);
   }
 
+  [[nodiscard]] std::vector<std::unique_ptr<disk::DiskDevice>>& data_disks() {
+    if (trail != nullptr) return trail->data_disks;
+    if (sharded != nullptr) return sharded->data_disks;
+    return standard->data_disks;
+  }
+
   [[nodiscard]] sim::Simulator& sim() {
-    return config == StorageConfig::kTrail ? trail->sim : standard->sim;
+    if (trail != nullptr) return trail->sim;
+    if (sharded != nullptr) return sharded->sim;
+    return standard->sim;
   }
 
   /// The dedicated log-file device's total busy time ("disk I/O time for

@@ -17,7 +17,7 @@ BUILD_DIR="${BENCH_BUILD_DIR:-build-release}"
 REPS="${BENCH_REPS:-3}"
 
 cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_engine bench_micro bench_tab1_batching
+cmake --build "$BUILD_DIR" --target bench_engine bench_micro bench_tab1_batching bench_multilog
 
 run_bench() {
   local bin="$1" out="$2"
@@ -78,6 +78,39 @@ print("tab1 batching factor: %.1fx (threshold 0)" % tab1["paper_threshold0"]["fa
 EOF
 }
 
+# The multilog/sharded sweep ships its own JSON summary; inject it under
+# a top-level "multilog" key in BENCH_engine.json so the shard scale-out
+# trajectory (throughput, speedup_vs_1, routing imbalance) is committed
+# alongside the engine benches. Also floors the paced write-back
+# coalescing figure against the unpaced baseline while both are at hand.
+inject_multilog() {
+  local summary="$1" target="$2"
+  python3 - "$summary" "$target" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    multilog = json.load(f)
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+doc["multilog"] = multilog
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print("sharded sync-write speedup at 4 shards: %.2fx (reposition-bound)"
+      % multilog["speedup_4_shards"])
+def coalesce(name):
+    rows = [b for b in doc.get("benchmarks", []) if b.get("run_name", b["name"]) == name]
+    for b in rows:
+        if b.get("aggregate_name") == "median":
+            return b.get("wb_coalesce")
+    return rows[0].get("wb_coalesce") if rows else None
+paced = coalesce("BM_WritebackCoalescePaced/200")
+unpaced = coalesce("BM_WritebackCoalesce/32")
+if paced is not None and unpaced is not None:
+    print("wb pacing: %.2f ranges/command paced vs %.2f unpaced baseline" % (paced, unpaced))
+    assert paced > unpaced, "paced write-back coalescing regressed below the unpaced baseline"
+EOF
+}
+
 # Codec summary: distill the CRC tier throughputs and the tracer's
 # bytes/event out of the google-benchmark rows into a top-level "codec"
 # key, so the hot-path codec trajectory is one greppable object rather
@@ -123,16 +156,21 @@ if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
   run_bench bench_engine "$SMOKE_DIR/engine.json"
   run_bench bench_micro "$SMOKE_DIR/micro.json"
   "$BUILD_DIR/bench/bench_tab1_batching" "$SMOKE_DIR/tab1.json"
+  "$BUILD_DIR/bench/bench_multilog" "$SMOKE_DIR/multilog.json"
   inject_tab1 "$SMOKE_DIR/tab1.json" "$SMOKE_DIR/micro.json"
+  inject_multilog "$SMOKE_DIR/multilog.json" "$SMOKE_DIR/engine.json"
   inject_codec "$SMOKE_DIR/micro.json"
   print_histogram_blocks "$SMOKE_DIR/engine.json"
 else
   run_bench bench_engine BENCH_engine.json
   run_bench bench_micro BENCH_micro.json
   TAB1_JSON="$(mktemp)"
-  trap 'rm -f "$TAB1_JSON"' EXIT
+  MULTILOG_JSON="$(mktemp)"
+  trap 'rm -f "$TAB1_JSON" "$MULTILOG_JSON"' EXIT
   "$BUILD_DIR/bench/bench_tab1_batching" "$TAB1_JSON"
+  "$BUILD_DIR/bench/bench_multilog" "$MULTILOG_JSON"
   inject_tab1 "$TAB1_JSON" BENCH_micro.json
+  inject_multilog "$MULTILOG_JSON" BENCH_engine.json
   inject_codec BENCH_micro.json
   print_histogram_blocks BENCH_engine.json
   echo "wrote BENCH_engine.json and BENCH_micro.json"

@@ -47,9 +47,9 @@ RecoveryManager::TrackKey RecoveryManager::scan_track(std::uint8_t unit,
   read_sync(unit, base, spt, buf);
   ++stats.tracks_scanned;
   if (obs_ != nullptr) {
-    obs_->metrics.counter("recovery.tracks_scanned").inc();
+    obs_->metrics.counter(metric_prefix_ + "recovery.tracks_scanned").inc();
     if (obs_->tracer.enabled())
-      obs_->tracer.instant_value("recovery.probe", "recovery", track, obs::kRecoveryTid);
+      obs_->tracer.instant_value("recovery.probe", "recovery", track, tid_);
   }
 
   TrackKey best;
@@ -163,7 +163,7 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
   // ---- Phase 1: locate the youngest active write record ----
   const sim::TimePoint locate_start = sim_.now();
   obs::ScopedSpan locate_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.locate",
-                              "recovery", obs::kRecoveryTid);
+                              "recovery", tid_);
   TrackKey youngest;
   for (std::uint8_t unit = 0; unit < units_.size(); ++unit) {
     TrackKey candidate;
@@ -183,7 +183,7 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
   // ---- Phase 2: rebuild the pending-record set ----
   const sim::TimePoint rebuild_start = sim_.now();
   obs::ScopedSpan rebuild_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.rebuild",
-                               "recovery", obs::kRecoveryTid);
+                               "recovery", tid_);
 
   std::uint8_t unit = youngest.unit;
   disk::Lba lba = youngest.header_lba;
@@ -238,6 +238,9 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
       if (!chain.empty())
         throw std::runtime_error("recovery: torn record below an intact one");
       ++stats.records_dropped_torn;
+      // Keys strictly decrease along the walk, so the last torn record
+      // seen carries the oldest torn key.
+      stats.oldest_torn_key = record_key(*hdr);
     } else {
       if (!have_bound) {
         // The newest *intact* record's log_head bounds the backward walk.
@@ -277,47 +280,51 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
   rebuild_span.finish();
   outcome.pending = std::move(chain);
   if (obs_ != nullptr)
-    obs_->metrics.counter("recovery.records_found").inc(stats.records_found);
+    obs_->metrics.counter(metric_prefix_ + "recovery.records_found").inc(stats.records_found);
 
   // ---- Phase 3: write pending records back to the data disks ----
-  if (options.write_back && !outcome.pending.empty()) {
-    if (!data_write_) throw std::logic_error("recovery: write-back requested without DataWriteFn");
-    const sim::TimePoint wb_start = sim_.now();
-    obs::ScopedSpan wb_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.writeback",
-                            "recovery", obs::kRecoveryTid);
-    for (const RecoveredRecord& rec : outcome.pending) {
-      // Direct-log records have no data-disk home; the mounting driver
-      // re-adopts them and the client replays from their payloads.
-      if (rec.header.entries[0].data_major == kDirectLogMajor) continue;
-      // Group entries into contiguous runs per device.
-      std::uint32_t i = 0;
-      while (i < rec.header.batch_size) {
-        std::uint32_t j = i + 1;
-        const RecordEntry& e0 = rec.header.entries[i];
-        while (j < rec.header.batch_size) {
-          const RecordEntry& e = rec.header.entries[j];
-          if (e.data_major != e0.data_major || e.data_minor != e0.data_minor ||
-              e.data_lba != e0.data_lba + (j - i))
-            break;
-          ++j;
-        }
-        const std::span<const std::byte> run(
-            rec.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
-            static_cast<std::size_t>(j - i) * disk::kSectorSize);
-        bool done = false;
-        data_write_(io::DeviceId{e0.data_major, e0.data_minor}, e0.data_lba, run,
-                    [&] { done = true; });
-        while (!done) {
-          if (!sim_.step()) throw std::runtime_error("recovery: simulation stalled");
-        }
-        stats.sectors_written_back += j - i;
-        i = j;
-      }
-    }
-    stats.writeback_time = sim_.now() - wb_start;
-  }
+  if (options.write_back && !outcome.pending.empty()) write_back(outcome.pending, stats);
 
   return outcome;
+}
+
+void RecoveryManager::write_back(const std::vector<RecoveredRecord>& pending,
+                                 RecoveryStats& stats) {
+  if (pending.empty()) return;
+  if (!data_write_) throw std::logic_error("recovery: write-back requested without DataWriteFn");
+  const sim::TimePoint wb_start = sim_.now();
+  obs::ScopedSpan wb_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.writeback",
+                          "recovery", tid_);
+  for (const RecoveredRecord& rec : pending) {
+    // Direct-log records have no data-disk home; the mounting driver
+    // re-adopts them and the client replays from their payloads.
+    if (rec.header.entries[0].data_major == kDirectLogMajor) continue;
+    // Group entries into contiguous runs per device.
+    std::uint32_t i = 0;
+    while (i < rec.header.batch_size) {
+      std::uint32_t j = i + 1;
+      const RecordEntry& e0 = rec.header.entries[i];
+      while (j < rec.header.batch_size) {
+        const RecordEntry& e = rec.header.entries[j];
+        if (e.data_major != e0.data_major || e.data_minor != e0.data_minor ||
+            e.data_lba != e0.data_lba + (j - i))
+          break;
+        ++j;
+      }
+      const std::span<const std::byte> run(
+          rec.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+          static_cast<std::size_t>(j - i) * disk::kSectorSize);
+      bool done = false;
+      data_write_(io::DeviceId{e0.data_major, e0.data_minor}, e0.data_lba, run,
+                  [&] { done = true; });
+      while (!done) {
+        if (!sim_.step()) throw std::runtime_error("recovery: simulation stalled");
+      }
+      stats.sectors_written_back += j - i;
+      i = j;
+    }
+  }
+  stats.writeback_time += sim_.now() - wb_start;
 }
 
 }  // namespace trail::core

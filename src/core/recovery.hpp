@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/format_tool.hpp"
@@ -53,6 +54,16 @@ struct RecoveryStats {
   sim::Duration rebuild_time;
   std::uint32_t records_found = 0;
   std::uint32_t records_dropped_torn = 0;
+  /// record_key of the oldest torn record dropped in phase 2 (torn records
+  /// are always the newest on their log, so this is the earliest point at
+  /// which this log's history is incomplete). Valid only when
+  /// records_dropped_torn > 0. A sharded mount takes the minimum across
+  /// shards as the global consistency cut.
+  std::uint64_t oldest_torn_key = 0;
+  /// Intact records discarded by a sharded mount's cross-shard
+  /// consistency cut (mount_finish's cut_before). Always 0 for a
+  /// standalone driver.
+  std::uint32_t records_cut = 0;
   sim::Duration writeback_time;
   std::uint64_t sectors_written_back = 0;
 };
@@ -78,8 +89,15 @@ class RecoveryManager {
 
   /// Optional observability: per-phase spans ("recovery.locate" /
   /// "recovery.rebuild" / "recovery.writeback"), a per-track-scan probe
-  /// instant, and track/record counters on the recovery lane.
-  void attach_obs(obs::Obs* obs) { obs_ = obs; }
+  /// instant, and track/record counters on the recovery lane. The prefix
+  /// and lane let a sharded mount scope each shard's recovery (prefix
+  /// "shard.k.", a lane inside the shard's tid block).
+  void attach_obs(obs::Obs* obs, std::string metric_prefix = "",
+                  std::uint32_t tid = obs::kRecoveryTid) {
+    obs_ = obs;
+    metric_prefix_ = std::move(metric_prefix);
+    tid_ = tid;
+  }
 
   struct Outcome {
     RecoveryStats stats;
@@ -93,6 +111,12 @@ class RecoveryManager {
   /// record_key). Drives the simulator until the selected phases complete
   /// (recovery owns the machine at boot).
   Outcome run(std::uint32_t target_epoch, const Options& options);
+
+  /// Phase 3 alone: write `pending` back to the data disks in order,
+  /// accumulating into `stats`. Public so a sharded mount can locate +
+  /// rebuild on every shard first (run with write_back=false), apply the
+  /// cross-shard consistency cut, and only then write back the survivors.
+  void write_back(const std::vector<RecoveredRecord>& pending, RecoveryStats& stats);
 
  private:
   struct Unit {
@@ -124,6 +148,8 @@ class RecoveryManager {
   std::vector<Unit> units_;
   DataWriteFn data_write_;
   obs::Obs* obs_ = nullptr;
+  std::string metric_prefix_;
+  std::uint32_t tid_ = obs::kRecoveryTid;
 };
 
 }  // namespace trail::core

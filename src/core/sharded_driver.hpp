@@ -1,0 +1,202 @@
+// Sharded multi-log scale-out (§5.1 taken to its conclusion): a
+// BlockDriver fronting N independent TrailDriver shards, each with its
+// own log disk, head predictor, track allocator and write-back
+// scheduler. Where TrailDriver's multi-log mode steers batches from one
+// shared log queue onto whichever disk is idle, the ShardedDriver
+// partitions the *address space*: every data-disk extent is owned by
+// exactly one shard, so shards accept, batch and acknowledge writes
+// fully concurrently and clustered sync-write throughput scales
+// near-linearly with the shard count.
+//
+// Cross-shard total order. Each shard stamps records with sequence ids
+// drawn from one monotonic global counter (TrailConfig::sequence_source),
+// and all shards mount into a common epoch, so record_key(epoch, seq)
+// totally orders records across the whole array. Recovery replays every
+// shard's log and merges by that order. A crash can tear the order's
+// suffix unevenly — shard A's last batch survived, shard B's (earlier
+// in the global order) did not — so the sharded mount computes a
+// consistency cut: the minimum torn key across shards. Records at or
+// above the cut are discarded (and their header sectors erased) on
+// every shard.
+//
+// The cut is sound because acknowledgements are watermark-gated: a
+// client ack is released only once the global commit watermark — the
+// largest W with sequences 1..W all durable on their shards — has
+// reached the acked write's records. A torn record's sequence never
+// became durable, so the watermark never passed it, so nothing at or
+// above the cut was ever acknowledged. (Set
+// ShardedConfig::watermark_acks = false to trade this guarantee for
+// per-shard ack latency; recovery then still merges by sequence but an
+// acked suffix may be cut.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "core/trail_driver.hpp"
+#include "disk/disk_device.hpp"
+#include "io/block.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace trail::core {
+
+/// How data-disk extents map to shards.
+enum class ShardRouting : std::uint8_t {
+  /// Hash (device, extent) — spreads any access pattern, including
+  /// sequential scans of one device, across all shards.
+  kExtentHash,
+  /// extent % shard_count per device — deterministic round-robin;
+  /// adjacent extents land on adjacent shards.
+  kStriped,
+};
+
+struct ShardedConfig {
+  ShardRouting routing = ShardRouting::kExtentHash;
+  /// Extent granularity in sectors: [lba, lba+count) writes that stay
+  /// inside one extent never split across shards. Must be >= 1.
+  std::uint32_t extent_sectors = 64;
+  /// Gate client acknowledgements on the global commit watermark (see
+  /// file comment). Off: acks fire at per-shard durability.
+  bool watermark_acks = true;
+  /// Template for every shard's TrailDriver (the sequence/durability
+  /// hooks are owned by the ShardedDriver and overwritten).
+  TrailConfig shard;
+};
+
+/// Cross-shard view of the last mount's recovery.
+struct ShardedRecoveryStats {
+  std::vector<RecoveryStats> shards;   // per-shard phase stats
+  std::uint32_t crashed_shards = 0;    // shards that found crash_var == 0
+  std::uint32_t records_found = 0;     // sum across shards
+  std::uint32_t records_dropped_torn = 0;
+  std::uint32_t records_cut = 0;       // intact records above the cut
+  /// The applied consistency cut (record_key); ~0 when no shard was torn.
+  std::uint64_t cut_before = ~std::uint64_t{0};
+};
+
+class ShardedDriver final : public io::BlockDriver {
+ public:
+  /// One shard per log disk (1..15, each formatted).
+  ShardedDriver(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
+                ShardedConfig config = {});
+
+  /// Register a data disk with every shard; returns the common DeviceId.
+  io::DeviceId add_data_disk(disk::DiskDevice& device);
+
+  /// Attach observability (before mount): shard k's full TrailDriver
+  /// instrumentation lands under the metric prefix "shard.<k>." and a
+  /// private trace-lane block at obs::kShardTidBase + k * kShardTidStride,
+  /// plus array-level routing / gating metrics (shard.routing_imbalance_pct,
+  /// shard.split_writes, shard.gated_acks, shard.<k>.routed_sectors).
+  void attach_obs(obs::Obs* obs);
+
+  /// Mount every shard under a common epoch and the cross-shard
+  /// consistency cut: begin recovery on all shards (locate + rebuild),
+  /// take the epoch floor and the minimum torn key across the array,
+  /// then finish each shard's mount under that cut. Drives the simulator
+  /// until complete.
+  void mount();
+
+  /// Clean shutdown: each shard drains its write-back and stamps
+  /// crash_var = 1. Drives the simulator until complete.
+  void unmount();
+
+  /// Power failure across the whole array: halts every log and data disk
+  /// mid-command; gated acknowledgements never fire.
+  void crash();
+
+  // BlockDriver. Requests are split at extent boundaries and routed;
+  // multi-chunk requests complete when the last chunk does.
+  void submit_write(io::BlockAddr addr, std::uint32_t count, std::span<const std::byte> data,
+                    Completion cb) override;
+  void submit_read(io::BlockAddr addr, std::uint32_t count, std::span<std::byte> out,
+                   Completion cb) override;
+  void drain(Completion cb) override;
+
+  [[nodiscard]] bool mounted() const { return mounted_; }
+  /// The common epoch all shards mounted into.
+  [[nodiscard]] std::uint32_t epoch() const { return shards_[0]->epoch(); }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] TrailDriver& shard(std::size_t k) { return *shards_.at(k); }
+  [[nodiscard]] const TrailDriver& shard(std::size_t k) const { return *shards_.at(k); }
+  [[nodiscard]] const ShardedConfig& config() const { return config_; }
+
+  /// The shard owning (device, lba)'s extent.
+  [[nodiscard]] std::size_t shard_of(io::DeviceId dev, disk::Lba lba) const;
+
+  /// Largest W such that sequences 1..W are all durable on their shards.
+  [[nodiscard]] std::uint32_t committed_watermark() const { return watermark_; }
+  /// Acknowledgements currently held by the watermark gate.
+  [[nodiscard]] std::size_t gated_acks_pending() const { return gated_.size(); }
+
+  [[nodiscard]] const ShardedRecoveryStats& last_recovery() const { return last_recovery_; }
+
+  /// Element-wise sum of every shard's TrailStats.
+  [[nodiscard]] TrailStats combined_stats() const;
+
+  /// Payload sectors routed to shard k since mount.
+  [[nodiscard]] std::uint64_t routed_sectors(std::size_t k) const {
+    return routed_sectors_.at(k);
+  }
+  /// max-shard / mean-shard routed sectors - 1 (0 = perfectly balanced).
+  [[nodiscard]] double routing_imbalance() const;
+
+  /// Cross-layer audit: every shard's full TrailDriver audit plus the
+  /// array-level invariants — global record-key uniqueness across shards
+  /// ("sharded.sequence", with watermark/gate quiescence checks) and
+  /// buffered-sector-vs-routing ownership ("sharded.routing"). With
+  /// TRAIL_AUDIT defined it runs automatically at mount / drain /
+  /// unmount and throws on any error finding.
+  void run_audit(audit::Report& report, bool quiescent = false) const;
+
+ private:
+  /// One routed piece of a client request: `count` sectors starting at
+  /// sector `offset` of the request, owned by `shard`.
+  struct Chunk {
+    std::size_t shard = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  /// Split [lba, lba+count) at extent boundaries and coalesce runs of
+  /// consecutive same-shard extents into one chunk per shard run.
+  [[nodiscard]] std::vector<Chunk> route(io::DeviceId dev, disk::Lba lba,
+                                         std::uint32_t count) const;
+  void on_shard_durable(std::size_t k, std::uint32_t first_seq, std::uint32_t last_seq);
+  void note_routed(std::size_t k, std::uint32_t sectors);
+  void quiesce_audit(const char* where) const;
+
+  sim::Simulator& sim_;
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<TrailDriver>> shards_;
+  std::vector<disk::DiskDevice*> data_disks_;
+  bool mounted_ = false;
+  bool crashed_ = false;
+
+  // Global sequencing + commit watermark (see file comment).
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t watermark_ = 0;
+  std::vector<std::uint32_t> shard_durable_high_;  // latest durable seq per shard
+  std::set<std::uint32_t> durable_beyond_;         // durable seqs > watermark_
+  /// Held acknowledgements, keyed by the watermark value that releases
+  /// them; equal keys fire in insertion order (deterministic).
+  std::multimap<std::uint32_t, Completion> gated_;
+
+  ShardedRecoveryStats last_recovery_;
+  std::vector<std::uint64_t> routed_sectors_;
+  std::uint64_t routed_total_ = 0;
+  std::uint64_t split_writes_ = 0;
+
+  obs::Obs* obs_ = nullptr;
+  obs::Gauge* g_imbalance_ = nullptr;
+  obs::Counter* c_split_writes_ = nullptr;
+  obs::Counter* c_gated_acks_ = nullptr;
+  std::vector<obs::Counter*> c_routed_;
+};
+
+}  // namespace trail::core

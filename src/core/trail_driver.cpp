@@ -56,6 +56,9 @@ TrailDriver::TrailDriver(sim::Simulator& sim, std::vector<disk::DiskDevice*> log
     throw std::invalid_argument("TrailDriver: 1..15 log disks required");
   if (config_.max_writeback_ranges < 1)
     throw std::invalid_argument("TrailDriver: max_writeback_ranges must be >= 1");
+  if (config_.writeback_dirty_watermark > 0 && config_.writeback_dirty_age <= sim::Duration{0})
+    throw std::invalid_argument(
+        "TrailDriver: writeback_dirty_watermark needs a positive writeback_dirty_age");
   for (disk::DiskDevice* device : log_disks) {
     if (device == nullptr) throw std::invalid_argument("TrailDriver: null log disk");
     if (!is_trail_log_disk(*device))
@@ -84,8 +87,11 @@ io::DeviceId TrailDriver::add_data_disk(disk::DiskDevice& device) {
   if (mounted_) throw std::logic_error("TrailDriver: add data disks before mount()");
   // Reads drain first in arrival order; write-backs are CSCAN-ordered and
   // coalesce in-queue (§4.2–§4.3).
-  data_queues_.push_back(
-      std::make_unique<io::DeviceQueue>(device, io::make_writeback_scheduler()));
+  auto queue = std::make_unique<io::DeviceQueue>(device, io::make_writeback_scheduler());
+  if (config_.writeback_dirty_watermark > 0)
+    queue->set_pacing(&sim_, io::DeviceQueue::WritebackPacing{config_.writeback_dirty_watermark,
+                                                              config_.writeback_dirty_age});
+  data_queues_.push_back(std::move(queue));
   data_disks_.push_back(&device);
   const auto minor = static_cast<std::uint8_t>(data_queues_.size() - 1);
   if (obs_ != nullptr) attach_data_queue_obs(minor);
@@ -93,15 +99,18 @@ io::DeviceId TrailDriver::add_data_disk(disk::DiskDevice& device) {
 }
 
 void TrailDriver::attach_data_queue_obs(std::size_t index) {
-  const auto tid = obs::kDataDiskTidBase + static_cast<std::uint32_t>(index);
-  const std::string label = "data" + std::to_string(index);
+  const auto tid = scope_.data_tid_base + static_cast<std::uint32_t>(index);
+  const std::string label = scope_.metric_prefix + "data" + std::to_string(index);
   obs_->tracer.set_track_name(tid, label);
-  data_queues_[index]->attach_obs(obs_, tid, "io.queue_depth." + label);
+  data_queues_[index]->attach_obs(obs_, tid,
+                                  scope_.metric_prefix + "io.queue_depth.data" +
+                                      std::to_string(index));
 }
 
-void TrailDriver::attach_obs(obs::Obs* obs) {
+void TrailDriver::attach_obs(obs::Obs* obs, ObsScope scope) {
   if (mounted_) throw std::logic_error("TrailDriver: attach_obs before mount()");
   obs_ = obs;
+  scope_ = std::move(scope);
   if (obs_ == nullptr) {
     h_sync_write_ = h_phys_write_ = h_batch_ = nullptr;
     h_wb_ranges_ = h_wb_sectors_ = nullptr;
@@ -109,16 +118,19 @@ void TrailDriver::attach_obs(obs::Obs* obs) {
     for (auto& q : data_queues_) q->attach_obs(nullptr, 0, "");
     return;
   }
-  h_sync_write_ = &obs_->metrics.histogram("trail.sync_write_ns");
-  h_phys_write_ = &obs_->metrics.histogram("trail.physical_write_ns");
-  h_batch_ = &obs_->metrics.histogram("trail.batch_requests");
-  h_wb_ranges_ = &obs_->metrics.histogram("wb.batch_ranges");
-  h_wb_sectors_ = &obs_->metrics.histogram("wb.batch_sectors");
-  g_log_queue_ = &obs_->metrics.gauge("trail.log_queue_depth");
-  obs_->tracer.set_track_name(obs::kDriverTid, "driver");
-  obs_->tracer.set_track_name(obs::kRecoveryTid, "recovery");
+  const std::string& p = scope_.metric_prefix;
+  h_sync_write_ = &obs_->metrics.histogram(p + "trail.sync_write_ns");
+  h_phys_write_ = &obs_->metrics.histogram(p + "trail.physical_write_ns");
+  h_batch_ = &obs_->metrics.histogram(p + "trail.batch_requests");
+  h_wb_ranges_ = &obs_->metrics.histogram(p + "wb.batch_ranges");
+  h_wb_sectors_ = &obs_->metrics.histogram(p + "wb.batch_sectors");
+  g_log_queue_ = &obs_->metrics.gauge(p + "trail.log_queue_depth");
+  trace_queue_depth_name_ = p + "trail.log_queue_depth";
+  obs_->tracer.set_track_name(scope_.driver_tid, p + "driver");
+  obs_->tracer.set_track_name(scope_.recovery_tid, p + "recovery");
   for (std::size_t u = 0; u < units_.size(); ++u)
-    obs_->tracer.set_track_name(static_cast<std::uint32_t>(u), "log" + std::to_string(u));
+    obs_->tracer.set_track_name(scope_.unit_tid_base + static_cast<std::uint32_t>(u),
+                                p + "log" + std::to_string(u));
   for (std::size_t i = 0; i < data_queues_.size(); ++i) attach_data_queue_obs(i);
 }
 
@@ -144,15 +156,16 @@ std::uint32_t TrailDriver::oldest_live_ptr_or(std::uint32_t fallback) const {
 // Mount / unmount / crash
 // ---------------------------------------------------------------------------
 
-void TrailDriver::mount() {
+void TrailDriver::mount() { mount_finish(mount_begin()); }
+
+TrailDriver::MountPrep TrailDriver::mount_begin() {
   if (mounted_) throw std::logic_error("TrailDriver: already mounted");
   if (crashed_) throw std::logic_error("TrailDriver: driver instance crashed; build a new one");
   if (data_queues_.empty()) throw std::logic_error("TrailDriver: no data disks registered");
 
+  MountPrep prep;
   // Read every unit's disk header (timed, through the normal command path).
-  std::vector<LogDiskHeader> headers(units_.size());
-  bool any_crashed = false;
-  std::uint32_t max_epoch = 0;
+  prep.headers.resize(units_.size());
   for (std::size_t u = 0; u < units_.size(); ++u) {
     std::optional<LogDiskHeader> header;
     bool have = false;
@@ -162,48 +175,87 @@ void TrailDriver::mount() {
     });
     run_sim_until([&] { return have; }, "header read");
     if (!header) throw std::runtime_error("TrailDriver: no valid log disk header replica");
-    headers[u] = *header;
-    any_crashed |= header->crash_var == 0;
-    max_epoch = std::max(max_epoch, header->epoch);
+    prep.headers[u] = *header;
+    prep.crashed |= header->crash_var == 0;
+    prep.max_epoch = std::max(prep.max_epoch, header->epoch);
   }
 
-  std::vector<std::optional<disk::TrackId>> resume_after(units_.size());
-
-  if (any_crashed) {
-    // The previous epoch did not unmount cleanly: recover (§3.3).
+  if (prep.crashed) {
+    // The previous epoch did not unmount cleanly: locate + rebuild (§3.3).
+    // Phase 3 (write-back) waits for mount_finish so a sharded mount can
+    // apply its cross-shard cut first.
     RecoveryManager::Options opts;
-    opts.write_back = config_.recovery_write_back;
+    opts.write_back = false;
     opts.sequential_locate = config_.recovery_sequential_locate;
-    std::vector<disk::DiskDevice*> devices;
-    for (LogUnit& unit : units_) devices.push_back(unit.device);
-    RecoveryManager recovery(
-        sim_, devices,
-        [this](io::DeviceId dev, disk::Lba lba, std::span<const std::byte> data,
-               std::function<void()> done) {
-          io::PendingIo io;
-          io.is_write = true;
-          io.lba = lba;
-          io.count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
-          io.data.assign(data.begin(), data.end());
-          io.priority = 0;
-          io.on_complete = std::move(done);
-          data_queue(dev).submit(std::move(io));
-        });
-    recovery.attach_obs(obs_);
-    auto outcome = recovery.run(max_epoch, opts);
-    last_recovery_ = outcome.stats;
-    if (!outcome.pending.empty()) {
-      // Continue each unit's ring after its own youngest record; chain the
-      // global prev pointer after the overall youngest.
-      const RecoveredRecord& youngest = outcome.pending.back();
+    RecoveryManager recovery(sim_, log_devices(), {});
+    recovery.attach_obs(obs_, scope_.metric_prefix, scope_.recovery_tid);
+    auto outcome = recovery.run(prep.max_epoch, opts);
+    prep.stats = outcome.stats;
+    prep.pending = std::move(outcome.pending);
+  }
+  return prep;
+}
+
+void TrailDriver::mount_finish(MountPrep prep, std::uint32_t epoch_floor,
+                               std::uint64_t cut_before) {
+  if (mounted_) throw std::logic_error("TrailDriver: already mounted");
+
+  std::vector<std::optional<disk::TrackId>> resume_after(units_.size());
+  last_recovery_ = prep.stats;
+
+  if (!prep.pending.empty()) {
+    // Continue each unit's ring after its own youngest record — cut
+    // records included: their tracks were stamped with keys of the
+    // crashed epoch, so resuming before them would break the circular key
+    // monotonicity the recovery binary search relies on.
+    for (const RecoveredRecord& rec : prep.pending)
+      resume_after[rec.log_unit] = rec.track;  // ascending: ends at newest per unit
+
+    // Apply the consistency cut: records at or above cut_before are
+    // discarded. Erase their header sectors so a future recovery cannot
+    // locate them as the youngest record and resurrect writes this mount
+    // decided never happened.
+    std::vector<RecoveredRecord> kept;
+    for (RecoveredRecord& rec : prep.pending) {
+      if (record_key(rec.header) >= cut_before) {
+        ++last_recovery_.records_cut;
+        LogUnit& unit = units_.at(rec.log_unit);
+        unit.scratch.fill(std::byte{0});
+        bool erased = false;
+        unit.device->write(rec.header_lba, 1, unit.scratch, [&] { erased = true; });
+        run_sim_until([&] { return erased; }, "cut-record erase");
+      } else {
+        kept.push_back(std::move(rec));
+      }
+    }
+
+    if (!kept.empty()) {
+      // Chain the global prev pointer after the youngest kept record.
+      const RecoveredRecord& youngest = kept.back();
       last_record_ptr_ =
           encode_log_ptr(youngest.log_unit, static_cast<std::uint32_t>(youngest.header_lba));
-      for (const RecoveredRecord& rec : outcome.pending)
-        resume_after[rec.log_unit] = rec.track;  // ascending: ends at newest per unit
+      if (config_.recovery_write_back) {
+        // Deferred recovery phase 3 for the surviving block records.
+        RecoveryManager recovery(
+            sim_, log_devices(),
+            [this](io::DeviceId dev, disk::Lba lba, std::span<const std::byte> data,
+                   std::function<void()> done) {
+              io::PendingIo io;
+              io.is_write = true;
+              io.lba = lba;
+              io.count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
+              io.data.assign(data.begin(), data.end());
+              io.priority = 0;
+              io.on_complete = std::move(done);
+              data_queue(dev).submit(std::move(io));
+            });
+        recovery.attach_obs(obs_, scope_.metric_prefix, scope_.recovery_tid);
+        recovery.write_back(kept, last_recovery_);
+      }
       // Direct-log records are always adopted (the client replays from
       // them and later releases); block records follow the policy.
       std::vector<RecoveredRecord> adopt;
-      for (RecoveredRecord& rec : outcome.pending) {
+      for (RecoveredRecord& rec : kept) {
         const bool direct = rec.header.entries[0].data_major == kDirectLogMajor;
         if (direct) {
           recovered_direct_.push_back(rec);  // keep a copy for the client
@@ -216,7 +268,7 @@ void TrailDriver::mount() {
     }
   }
 
-  epoch_ = max_epoch + 1;
+  epoch_ = std::max(prep.max_epoch, epoch_floor) + 1;
   next_seq_ = 1;
 
   // Position each unit's allocator tail so stamping continues around its
@@ -229,9 +281,9 @@ void TrailDriver::mount() {
     LogUnit& unit = units_[u];
     if (resume_after[u]) {
       unit.allocator->set_tail_after(*resume_after[u]);
-    } else if (!unit.allocator->is_reserved(headers[u].resume_track) &&
-               headers[u].resume_track < unit.device->geometry().track_count()) {
-      unit.allocator->set_tail(headers[u].resume_track);
+    } else if (!unit.allocator->is_reserved(prep.headers[u].resume_track) &&
+               prep.headers[u].resume_track < unit.device->geometry().track_count()) {
+      unit.allocator->set_tail(prep.headers[u].resume_track);
     }
   }
 
@@ -524,7 +576,7 @@ void TrailDriver::note_log_queue_depth() {
   const auto depth = static_cast<std::int64_t>(pending_.size());
   g_log_queue_->set(depth);
   if (obs_->tracer.enabled())
-    obs_->tracer.counter("trail.log_queue_depth", "log", depth, obs::kDriverTid);
+    obs_->tracer.counter(trace_queue_depth_name_.c_str(), "log", depth, scope_.driver_tid);
 }
 
 void TrailDriver::release_direct_before(std::uint64_t cookie) {
@@ -600,7 +652,7 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
       return true;  // unit now busy repositioning; caller may try others
     }
     if (obs_ != nullptr && obs_->tracer.enabled())
-      obs_->tracer.instant("log.predict_wait", "log", unit_id);
+      obs_->tracer.instant("log.predict_wait", "log", scope_.unit_tid_base + unit_id);
   }
 
   // ---- Build as many records as queue + free run allow ----
@@ -625,7 +677,6 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
     BuiltRecord rec;
     rec.header_lba = base + pos;
     rec.header.epoch = epoch_;
-    rec.header.sequence_id = next_seq_++;
     rec.header.prev_sect = last_record_ptr_;
     const std::uint32_t self_ptr =
         encode_log_ptr(unit_id, static_cast<std::uint32_t>(rec.header_lba));
@@ -679,11 +730,11 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
       cap -= take;
     }
     if (payload == 0) {
-      // Nothing fit after the header (request cap hit mid-build).
+      // Nothing fit after the header (request cap hit mid-build). No
+      // sequence id was consumed: ids are assigned after the build loop.
       --pos;
       ++cap;
       last_record_ptr_ = rec.header.prev_sect;
-      --next_seq_;
       break;
     }
     rec.header.batch_size = payload;
@@ -692,6 +743,12 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
   }
 
   if (unit.inflight.empty()) return false;  // nothing serviceable right now
+
+  // Sequence ids are drawn only once the batch is final (so a discarded
+  // empty record never consumes one — essential when an external
+  // sequence_source hands out a shared global sequence). The build runs
+  // inside one simulator event, so the ids stay contiguous in chain order.
+  for (BuiltRecord& rec : unit.inflight) rec.header.sequence_id = next_sequence();
 
   // ---- Serialize: [hdr][escaped payload]... contiguous from first_pos ----
   // The image is built in the driver-owned arena (no per-append heap
@@ -741,7 +798,8 @@ void TrailDriver::on_physical_write_done(std::uint8_t unit_id, std::uint32_t las
     const sim::Duration span = sim_.now() - unit.busy_since;
     h_phys_write_->record(span);
     if (obs_->tracer.enabled())
-      obs_->tracer.complete("log.append", "log", unit.busy_since, span, unit_id);
+      obs_->tracer.complete("log.append", "log", unit.busy_since, span,
+                            scope_.unit_tid_base + unit_id);
   }
 
   // Adopt the records as live and pin their payloads; advance per-request
@@ -784,7 +842,14 @@ void TrailDriver::on_physical_write_done(std::uint8_t unit_id, std::uint32_t las
   while (!pending_.empty() && pending_.front().logged == pending_.front().count)
     pending_.pop_front();
   note_log_queue_depth();
+  const std::uint32_t first_seq = unit.inflight.front().header.sequence_id;
+  const std::uint32_t last_seq = unit.inflight.back().header.sequence_id;
   unit.inflight.clear();
+
+  // Durability hook before the acks: a ShardedDriver advances its global
+  // commit watermark here, so any acknowledgement it gated on this write
+  // observes fully registered buffer state.
+  if (config_.on_records_durable) config_.on_records_durable(first_seq, last_seq);
 
   // Acknowledge the synchronous writes (this is the low-latency return of
   // §4.1; callbacks may immediately submit more writes).
@@ -810,7 +875,7 @@ void TrailDriver::switch_track(std::uint8_t unit_id) {
     unit.busy = false;
     ++stats_.log_full_stalls;
     if (obs_ != nullptr && obs_->tracer.enabled())
-      obs_->tracer.instant("log.full_stall", "log", unit_id);
+      obs_->tracer.instant("log.full_stall", "log", scope_.unit_tid_base + unit_id);
     return;
   }
   ++stats_.track_switches;
@@ -840,7 +905,8 @@ void TrailDriver::switch_track(std::uint8_t unit_id) {
                       u.busy = false;
                       if (obs_ != nullptr && obs_->tracer.enabled())
                         obs_->tracer.complete("log.track_switch", "log", u.busy_since,
-                                              sim_.now() - u.busy_since, unit_id);
+                                              sim_.now() - u.busy_since,
+                                              scope_.unit_tid_base + unit_id);
                       service_log_queue();
                     });
 }
@@ -870,7 +936,7 @@ void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32
   ++stats_.writebacks;
   ++wb_queued_ranges_;
   if (obs_ != nullptr && obs_->tracer.enabled())
-    obs_->tracer.instant_value("wb.enqueue", "wb", count, obs::kDriverTid);
+    obs_->tracer.instant_value("wb.enqueue", "wb", count, scope_.driver_tid);
 
   io::PendingIo io;
   io.is_write = true;
@@ -885,7 +951,7 @@ void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32
     if (h_wb_ranges_ != nullptr) h_wb_ranges_->record(nranges);
     if (h_wb_sectors_ != nullptr) h_wb_sectors_->record(sectors);
     if (obs_ != nullptr && obs_->tracer.enabled())
-      obs_->tracer.instant_value("wb.dispatch", "wb", nranges, obs::kDriverTid);
+      obs_->tracer.instant_value("wb.dispatch", "wb", nranges, scope_.driver_tid);
   };
 
   io::PendingIo::WbRange range;
@@ -903,7 +969,7 @@ void TrailDriver::enqueue_writeback(io::DeviceId dev, disk::Lba lba, std::uint32
     ++stats_.writebacks_skipped;
     --wb_queued_ranges_;
     if (obs_ != nullptr && obs_->tracer.enabled())
-      obs_->tracer.instant_value("wb.skip", "wb", count, obs::kDriverTid);
+      obs_->tracer.instant_value("wb.skip", "wb", count, scope_.driver_tid);
   };
   auto versions = std::make_shared<std::vector<std::uint64_t>>(count);
   range.fill = [this, alive, dev, lba, count, versions](std::span<std::byte> out) {
@@ -1012,7 +1078,7 @@ void TrailDriver::arm_idle_timer() {
                           uu.predictor->set_reference(sim_.now(), track, target);
                           ++stats_.idle_repositions;
                           if (obs_ != nullptr && obs_->tracer.enabled())
-                            obs_->tracer.instant("log.idle_reposition", "log", u);
+                            obs_->tracer.instant("log.idle_reposition", "log", scope_.unit_tid_base + u);
                           uu.busy = false;
                           if (!pending_.empty()) service_log_queue();
                         });

@@ -80,6 +80,29 @@ struct TrailConfig {
   bool recovery_write_back = true;
   /// Force the O(N) sequential locate during recovery (ablation).
   bool recovery_sequential_locate = false;
+  /// Write-back pacing (dirty high-watermark): when > 0, a data disk whose
+  /// queue holds *only* write-back work defers dispatch until at least
+  /// this many dirty sectors are queued, so bursts accumulate more
+  /// mergeable ranges before the first command goes out. 0 keeps the
+  /// work-conserving behaviour. Reads (and recovery writes) always
+  /// dispatch immediately and flush the accumulated writes with them.
+  std::uint32_t writeback_dirty_watermark = 0;
+  /// Age bound on pacing: the oldest held write-back dispatches no later
+  /// than this after it was queued, watermark reached or not. Must be > 0
+  /// when the watermark is set.
+  sim::Duration writeback_dirty_age = sim::millis(2);
+  /// External global-sequence source (sharding): when set, record
+  /// sequence ids come from this callback instead of the driver's own
+  /// per-epoch counter. Ids must be strictly increasing per driver; a
+  /// ShardedDriver hands out one monotonic sequence across all shards so
+  /// cross-shard recovery can rebuild a total order.
+  std::function<std::uint32_t()> sequence_source;
+  /// Durability hook (sharding): called after every physical log write,
+  /// once its records are adopted and registered but *before* the
+  /// client acknowledgements fire, with the first/last sequence id the
+  /// write carried. A ShardedDriver advances its global commit watermark
+  /// here.
+  std::function<void(std::uint32_t first_seq, std::uint32_t last_seq)> on_records_durable;
 };
 
 struct TrailStats {
@@ -114,6 +137,18 @@ struct TrailStats {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// Where a driver's observability lands: metric-name prefix plus the
+/// trace-lane (tid) layout. The default scope is the classic single-driver
+/// layout; a ShardedDriver gives shard k the prefix "shard.k." and a
+/// private lane block at obs::kShardTidBase + k * obs::kShardTidStride.
+struct ObsScope {
+  std::string metric_prefix;  // prepended to every metric/track name
+  std::uint32_t unit_tid_base = 0;                      // log-unit lanes
+  std::uint32_t data_tid_base = obs::kDataDiskTidBase;  // data-disk lanes
+  std::uint32_t driver_tid = obs::kDriverTid;
+  std::uint32_t recovery_tid = obs::kRecoveryTid;
+};
+
 class TrailDriver final : public io::BlockDriver {
  public:
   /// Single log disk (the paper's prototype). Must be formatted.
@@ -133,12 +168,39 @@ class TrailDriver final : public io::BlockDriver {
   /// switches, head-prediction waits, log-full stalls, write-back
   /// dispatch/skip, and recovery phases. Propagates to the data-disk
   /// device queues and to the RecoveryManager run at mount.
-  void attach_obs(obs::Obs* obs);
+  void attach_obs(obs::Obs* obs) { attach_obs(obs, ObsScope{}); }
+  /// Scoped variant: same instrumentation under `scope`'s metric prefix
+  /// and trace lanes (a ShardedDriver attaches each shard here).
+  void attach_obs(obs::Obs* obs, ObsScope scope);
 
   /// Boot the driver: read the disk headers, recover if the previous
   /// epoch crashed, stamp the new epoch, and position the heads. Drives
   /// the simulator until complete (the machine is booting).
   void mount();
+
+  // ---- two-phase mount (sharding) ----
+  // mount() is mount_finish(mount_begin()). A ShardedDriver runs
+  // mount_begin on every shard first (locate + rebuild only), computes
+  // the global epoch floor and the cross-shard consistency cut from the
+  // combined outcomes, then finishes each shard under that cut.
+  struct MountPrep {
+    bool crashed = false;          // some replica had crash_var == 0
+    std::uint32_t max_epoch = 0;   // newest epoch across header replicas
+    std::vector<LogDiskHeader> headers;     // one per log unit
+    std::vector<RecoveredRecord> pending;   // ascending key order
+    RecoveryStats stats;
+  };
+  /// Read the disk headers and, if the previous epoch crashed, locate and
+  /// rebuild the pending-record set (recovery phases 1–2; phase 3 waits
+  /// for mount_finish). Drives the simulator until complete.
+  [[nodiscard]] MountPrep mount_begin();
+  /// Complete the mount: discard pending records with key >= cut_before
+  /// (never adopted, never written back — their headers are erased so a
+  /// later recovery cannot resurrect them), write back / adopt the
+  /// survivors per config, stamp epoch max(prep.max_epoch, epoch_floor)+1
+  /// with crash_var = 0, and position the heads.
+  void mount_finish(MountPrep prep, std::uint32_t epoch_floor = 0,
+                    std::uint64_t cut_before = ~std::uint64_t{0});
 
   /// Clean shutdown: drain every pending write-back, then stamp
   /// crash_var = 1. Drives the simulator until complete.
@@ -193,6 +255,16 @@ class TrailDriver final : public io::BlockDriver {
 
   /// Pending synchronous writes not yet on a log disk (queue depth).
   [[nodiscard]] std::size_t log_queue_depth() const { return pending_.size(); }
+
+  /// Keys (record_key) of all live records, ascending. Audit/test use:
+  /// the ShardedDriver's cross-shard sequence-monotonicity check needs
+  /// every shard's live set.
+  [[nodiscard]] std::vector<std::uint64_t> live_record_keys() const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(live_records_.size());
+    for (const auto& [key, rec] : live_records_) keys.push_back(key);
+    return keys;
+  }
 
   /// Times the serialization arena had to grow (tests pin the zero-
   /// allocation-per-append property: after warm-up this stops moving).
@@ -278,6 +350,9 @@ class TrailDriver final : public io::BlockDriver {
   };
 
   [[nodiscard]] LogUnit* pick_idle_unit();
+  [[nodiscard]] std::uint32_t next_sequence() {
+    return config_.sequence_source ? config_.sequence_source() : next_seq_++;
+  }
   void service_log_queue();
   bool service_on_unit(std::uint8_t unit_id);
   void on_physical_write_done(std::uint8_t unit_id, std::uint32_t last_sector);
@@ -289,6 +364,12 @@ class TrailDriver final : public io::BlockDriver {
   void attach_data_queue_obs(std::size_t index);
   void note_log_queue_depth();
   [[nodiscard]] io::DeviceQueue& data_queue(io::DeviceId dev);
+  [[nodiscard]] std::vector<disk::DiskDevice*> log_devices() const {
+    std::vector<disk::DiskDevice*> devices;
+    devices.reserve(units_.size());
+    for (const LogUnit& unit : units_) devices.push_back(unit.device);
+    return devices;
+  }
   void run_sim_until(const std::function<bool()>& done, const char* what);
   /// TRAIL_AUDIT hook: run_audit(quiescent=true), dump counters into the
   /// attached metrics, throw on errors.
@@ -298,6 +379,7 @@ class TrailDriver final : public io::BlockDriver {
 
   sim::Simulator& sim_;
   TrailConfig config_;
+  ObsScope scope_;
   std::vector<LogUnit> units_;
   std::uint8_t next_unit_hint_ = 0;  // round-robin start for unit picking
   std::unique_ptr<BufferManager> buffers_;
@@ -338,6 +420,9 @@ class TrailDriver final : public io::BlockDriver {
   obs::Histogram* h_wb_ranges_ = nullptr;    // coalesced ranges per wb command
   obs::Histogram* h_wb_sectors_ = nullptr;   // sectors per wb command
   obs::Gauge* g_log_queue_ = nullptr;        // pending synchronous writes
+  /// Stable storage for the scoped queue-depth counter-lane name (the
+  /// tracer keeps interned pointers, so the string must outlive it).
+  std::string trace_queue_depth_name_ = "trail.log_queue_depth";
 
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

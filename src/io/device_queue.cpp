@@ -1,11 +1,29 @@
 #include "io/device_queue.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace trail::io {
 
 DeviceQueue::DeviceQueue(disk::DiskDevice& device, std::unique_ptr<IoScheduler> scheduler)
     : device_(device), scheduler_(std::move(scheduler)) {}
+
+DeviceQueue::~DeviceQueue() {
+  if (pacing_sim_ != nullptr && pace_timer_.valid()) pacing_sim_->cancel(pace_timer_);
+}
+
+void DeviceQueue::set_pacing(sim::Simulator* sim, WritebackPacing pacing) {
+  if (pacing.dirty_watermark_sectors > 0 &&
+      (sim == nullptr || pacing.max_age <= sim::Duration{0}))
+    throw std::invalid_argument("DeviceQueue: pacing needs a simulator and a positive max_age");
+  pacing_sim_ = sim;
+  pacing_ = pacing;
+  if (obs_ != nullptr && pacing_.dirty_watermark_sectors > 0) {
+    pacing_holds_ = &obs_->metrics.counter("wb.pacing_holds");
+    pacing_release_watermark_ = &obs_->metrics.counter("wb.pacing_release_watermark");
+    pacing_release_age_ = &obs_->metrics.counter("wb.pacing_release_age");
+  }
+}
 
 void DeviceQueue::attach_obs(obs::Obs* obs, std::uint32_t tid,
                              std::string_view depth_gauge_name) {
@@ -14,9 +32,15 @@ void DeviceQueue::attach_obs(obs::Obs* obs, std::uint32_t tid,
   if (obs_ != nullptr) {
     depth_gauge_ = &obs_->metrics.gauge(depth_gauge_name);
     skip_counter_ = &obs_->metrics.counter("io.dispatch_skips");
+    if (pacing_.dirty_watermark_sectors > 0) {
+      pacing_holds_ = &obs_->metrics.counter("wb.pacing_holds");
+      pacing_release_watermark_ = &obs_->metrics.counter("wb.pacing_release_watermark");
+      pacing_release_age_ = &obs_->metrics.counter("wb.pacing_release_age");
+    }
   } else {
     depth_gauge_ = nullptr;
     skip_counter_ = nullptr;
+    pacing_holds_ = pacing_release_watermark_ = pacing_release_age_ = nullptr;
   }
 }
 
@@ -31,6 +55,11 @@ void DeviceQueue::update_depth() {
 
 void DeviceQueue::submit(PendingIo io) {
   io.seq = next_seq_++;
+  // Pacing age bound: remember when the oldest write-back of the current
+  // accumulation arrived (the queue was write-back-empty before this one).
+  if (pacing_sim_ != nullptr && pacing_.dirty_watermark_sectors > 0 && io.priority >= 1 &&
+      scheduler_->pacing_view().writeback_sectors == 0)
+    wb_oldest_since_ = pacing_sim_->now();
   // Batched write-backs coalesce into an already-queued adjacent/
   // overlapping batch instead of occupying their own queue slot (§4.2).
   if (!scheduler_->try_merge(io)) scheduler_->push(std::move(io));
@@ -43,8 +72,46 @@ void DeviceQueue::clear() {
   update_depth();
 }
 
+bool DeviceQueue::paced_hold() {
+  if (pacing_sim_ == nullptr || pacing_.dirty_watermark_sectors == 0) return false;
+  const IoScheduler::PacingView view = scheduler_->pacing_view();
+  if (view.writeback_sectors == 0) {
+    pacing_open_ = false;  // accumulation drained: close the gate again
+    return false;
+  }
+  // Urgent work dispatches immediately (pop_next serves priority 0
+  // first) and latches the gate open: the accumulated writes flush
+  // behind it instead of re-gating once the urgent command completes.
+  if (view.has_urgent || pacing_open_) {
+    pacing_open_ = true;
+    return false;
+  }
+  if (view.writeback_sectors >= pacing_.dirty_watermark_sectors) {
+    pacing_open_ = true;
+    if (pacing_release_watermark_ != nullptr) pacing_release_watermark_->inc();
+    return false;
+  }
+  if (pacing_sim_->now() - wb_oldest_since_ >= pacing_.max_age) {
+    pacing_open_ = true;
+    if (pacing_release_age_ != nullptr) pacing_release_age_->inc();
+    return false;
+  }
+  // Hold, and make sure the age bound eventually releases us.
+  if (pacing_holds_ != nullptr) pacing_holds_->inc();
+  if (!pace_timer_.valid()) {
+    const sim::Duration until_deadline = wb_oldest_since_ + pacing_.max_age - pacing_sim_->now();
+    pace_timer_ = pacing_sim_->schedule(until_deadline, [this] {
+      pace_timer_ = sim::EventId{};
+      pump();
+      update_depth();
+    });
+  }
+  return true;
+}
+
 void DeviceQueue::pump() {
   if (dispatched_) return;
+  if (paced_hold()) return;
   while (!scheduler_->empty()) {
     const disk::Lba head =
         device_.geometry().first_lba_of_track(device_.current_track());

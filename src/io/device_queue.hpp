@@ -22,9 +22,25 @@ namespace trail::io {
 class DeviceQueue {
  public:
   DeviceQueue(disk::DiskDevice& device, std::unique_ptr<IoScheduler> scheduler);
+  ~DeviceQueue();
 
   DeviceQueue(const DeviceQueue&) = delete;
   DeviceQueue& operator=(const DeviceQueue&) = delete;
+
+  /// Write-back pacing (dirty high-watermark + age bound). While the
+  /// queue holds *only* deferrable write-back work (per the scheduler's
+  /// pacing_view), dispatch waits until either `dirty_watermark_sectors`
+  /// write-back sectors are queued or the oldest held write-back has
+  /// waited `max_age`; then the whole accumulation drains. Urgent work
+  /// (reads, recovery writes) is never held and opens the gate for the
+  /// writes queued behind it.
+  struct WritebackPacing {
+    std::uint32_t dirty_watermark_sectors = 0;  // 0 = work-conserving
+    sim::Duration max_age{};
+  };
+  /// Enable pacing. `sim` schedules the age-bound release timer and must
+  /// outlive the queue.
+  void set_pacing(sim::Simulator* sim, WritebackPacing pacing);
 
   /// Enqueue; dispatches immediately if the device is idle.
   void submit(PendingIo io);
@@ -67,6 +83,9 @@ class DeviceQueue {
   };
 
   void pump();
+  /// True when pacing holds the queued write-backs back (arms the age
+  /// timer as a side effect). False whenever anything urgent is queued.
+  bool paced_hold();
   void update_depth();
   /// Skip-filter a popped batch, assemble its runs, and start writing.
   /// Returns false when every sub-range was skipped (nothing dispatched).
@@ -83,6 +102,19 @@ class DeviceQueue {
   std::uint32_t obs_tid_ = 0;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Counter* skip_counter_ = nullptr;
+
+  // Write-back pacing state. `pacing_open_` latches once the gate opens
+  // (watermark or age) and resets when the write-back queue drains, so an
+  // opened accumulation flushes completely instead of re-gating after
+  // every command.
+  sim::Simulator* pacing_sim_ = nullptr;
+  WritebackPacing pacing_{};
+  bool pacing_open_ = false;
+  sim::TimePoint wb_oldest_since_{};  // enqueue time of the oldest held wb
+  sim::EventId pace_timer_{};
+  obs::Counter* pacing_holds_ = nullptr;
+  obs::Counter* pacing_release_watermark_ = nullptr;
+  obs::Counter* pacing_release_age_ = nullptr;
 };
 
 }  // namespace trail::io

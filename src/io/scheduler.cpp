@@ -58,6 +58,8 @@ class SchedulerBase : public IoScheduler {
     return it == classes_.end() ? nullptr : &it->second;
   }
 
+  [[nodiscard]] const std::map<int, Bucket>& classes() const { return classes_; }
+
   void drop_queued(Bucket& bucket, Bucket::iterator it) {
     bucket.erase(it);
     --size_;
@@ -136,6 +138,21 @@ class WritebackScheduler final : public SchedulerBase {
       }
     }
     return true;
+  }
+
+  [[nodiscard]] PacingView pacing_view() const override {
+    // Priority 0 is urgent (reads, recovery writes); everything above is
+    // deferrable write-back, measured in envelope sectors so the pacing
+    // watermark tracks dirty volume, not request count.
+    PacingView view;
+    for (const auto& [priority, bucket] : classes()) {
+      if (priority <= 0) {
+        view.has_urgent = view.has_urgent || !bucket.empty();
+        continue;
+      }
+      for (const PendingIo& io : bucket) view.writeback_sectors += io.count;
+    }
+    return view;
   }
 
  protected:

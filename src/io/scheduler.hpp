@@ -96,6 +96,19 @@ class IoScheduler {
     (void)io;
     return false;
   }
+
+  /// What the queue holds, seen through the write-back pacing gate's
+  /// eyes: does any urgent (priority 0 — reads, recovery writes) request
+  /// wait, and how many deferrable write-back sectors are queued? The
+  /// default (everything urgent) disables pacing for policies that don't
+  /// distinguish the classes.
+  struct PacingView {
+    bool has_urgent = false;
+    std::uint64_t writeback_sectors = 0;
+  };
+  [[nodiscard]] virtual PacingView pacing_view() const {
+    return PacingView{!empty(), 0};
+  }
 };
 
 /// Strict arrival order within each priority class.

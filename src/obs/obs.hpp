@@ -31,6 +31,17 @@ inline constexpr std::uint32_t kDbCacheTid = 1011;
 static_assert(kDataDiskTidBase + 256 <= kDriverTid,
               "data-disk lanes must not reach the fixed driver/recovery/WAL/db lanes");
 
+// Sharded lane blocks: shard k owns [kShardTidBase + k*stride,
+// kShardTidBase + (k+1)*stride): its log units from +0, its data-disk
+// lanes from +16, and its driver/recovery lanes at the top of the block.
+inline constexpr std::uint32_t kShardTidBase = 2000;
+inline constexpr std::uint32_t kShardTidStride = 300;
+inline constexpr std::uint32_t kShardDriverTidOffset = 280;
+inline constexpr std::uint32_t kShardRecoveryTidOffset = 281;
+static_assert(kShardTidBase > kDbCacheTid, "shard blocks sit above all fixed lanes");
+static_assert(kShardTidStride > kShardRecoveryTidOffset,
+              "a shard's lane block must hold units, data disks, driver, and recovery");
+
 struct Obs {
   explicit Obs(const sim::Simulator& sim, std::size_t trace_capacity = 1 << 16)
       : tracer(sim, trace_capacity) {}

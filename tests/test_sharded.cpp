@@ -1,0 +1,478 @@
+// ShardedDriver: extent routing (hash + striped), request splitting,
+// watermark-gated acknowledgements, cross-shard recovery with the
+// consistency cut, and the array-level audit invariants.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "audit/check.hpp"
+#include "core/format_tool.hpp"
+#include "core/sharded_driver.hpp"
+#include "disk/profile.hpp"
+#include "obs/obs.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "trail_fixture.hpp"
+
+namespace trail::testing {
+namespace {
+
+using core::ShardedConfig;
+using core::ShardedDriver;
+using core::ShardRouting;
+using disk::kSectorSize;
+
+/// A sharded stack over small test disks: one log disk per shard plus
+/// shared data disks, with an acked-write model for durability checks.
+struct ShardedRig {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<disk::DiskDevice>> log_disks;
+  std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
+  std::unique_ptr<ShardedDriver> driver;
+  std::vector<io::DeviceId> devices;
+  /// (device index, lba) -> expected sector content for acknowledged writes.
+  std::map<std::pair<std::uint16_t, disk::Lba>, std::vector<std::byte>> acked;
+
+  explicit ShardedRig(std::size_t shards, int data_disk_count = 2,
+                      std::vector<disk::DiskProfile> log_profiles = {}) {
+    for (std::size_t i = 0; i < shards; ++i) {
+      const disk::DiskProfile profile =
+          i < log_profiles.size() ? log_profiles[i] : disk::small_test_disk();
+      log_disks.push_back(std::make_unique<disk::DiskDevice>(sim, profile));
+      core::format_log_disk(*log_disks.back());
+    }
+    for (int i = 0; i < data_disk_count; ++i)
+      data_disks.push_back(std::make_unique<disk::DiskDevice>(sim, disk::small_test_disk()));
+  }
+
+  void start(ShardedConfig config = {}) {
+    std::vector<disk::DiskDevice*> raw;
+    raw.reserve(log_disks.size());
+    for (auto& d : log_disks) raw.push_back(d.get());
+    driver = std::make_unique<ShardedDriver>(sim, raw, config);
+    devices.clear();
+    for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
+    driver->mount();
+  }
+
+  /// Async write that records its content into `acked` when (and only
+  /// when) the acknowledgement fires.
+  void write_async(io::BlockAddr addr, std::uint32_t sectors, std::uint64_t seed) {
+    auto data = std::make_shared<std::vector<std::byte>>(make_pattern(sectors, seed));
+    driver->submit_write(addr, sectors, *data, [this, addr, sectors, data] {
+      for (std::uint32_t i = 0; i < sectors; ++i)
+        acked[{addr.device.index(), addr.lba + i}]
+            .assign(data->begin() + static_cast<std::ptrdiff_t>(i) * kSectorSize,
+                    data->begin() + static_cast<std::ptrdiff_t>(i + 1) * kSectorSize);
+    });
+  }
+
+  sim::Duration write_sync(io::BlockAddr addr, std::span<const std::byte> data) {
+    const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
+    const sim::TimePoint t0 = sim.now();
+    sim::TimePoint done = t0;
+    bool fired = false;
+    driver->submit_write(addr, count, data, [&] {
+      fired = true;
+      done = sim.now();
+    });
+    pump(fired);
+    for (std::uint32_t i = 0; i < count; ++i)
+      acked[{addr.device.index(), addr.lba + i}]
+          .assign(data.begin() + static_cast<std::ptrdiff_t>(i) * kSectorSize,
+                  data.begin() + static_cast<std::ptrdiff_t>(i + 1) * kSectorSize);
+    return done - t0;
+  }
+
+  std::vector<std::byte> read_sync(io::BlockAddr addr, std::uint32_t count) {
+    std::vector<std::byte> out(static_cast<std::size_t>(count) * kSectorSize);
+    bool fired = false;
+    driver->submit_read(addr, count, out, [&] { fired = true; });
+    pump(fired);
+    return out;
+  }
+
+  void settle() {
+    bool done = false;
+    driver->drain([&] { done = true; });
+    pump(done);
+  }
+
+  void pump(const bool& flag) {
+    while (!flag) {
+      if (!sim.step()) {
+        ADD_FAILURE() << "simulation stalled";
+        return;
+      }
+    }
+  }
+
+  /// Power-fail everything and remount a fresh driver over the devices.
+  void crash_and_remount(ShardedConfig config = {}) {
+    driver->crash();
+    driver.reset();
+    for (auto& d : log_disks) d->restart();
+    for (auto& d : data_disks) d->restart();
+    start(config);
+  }
+
+  /// Every acknowledged write must read back intact through the driver.
+  void verify_acked_durable() {
+    for (const auto& [key, bytes] : acked) {
+      const io::BlockAddr addr{io::DeviceId{static_cast<std::uint8_t>(key.first >> 8),
+                                            static_cast<std::uint8_t>(key.first & 0xFF)},
+                               key.second};
+      const auto got = read_sync(addr, 1);
+      ASSERT_EQ(std::memcmp(got.data(), bytes.data(), kSectorSize), 0)
+          << "lost acknowledged write at device " << key.first << " lba " << key.second;
+    }
+  }
+
+  void expect_clean_audit(bool quiescent) {
+    audit::Report report;
+    driver->run_audit(report, quiescent);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardedRouting, ExtentHashIsDeterministicAndCoversAllShards) {
+  ShardedRig rig(4);
+  rig.start();
+  const io::DeviceId dev = rig.devices[0];
+  const std::uint32_t ext = rig.driver->config().extent_sectors;
+  std::set<std::size_t> hit;
+  for (std::uint32_t e = 0; e < 64; ++e) {
+    const std::size_t k = rig.driver->shard_of(dev, static_cast<disk::Lba>(e) * ext);
+    EXPECT_EQ(k, rig.driver->shard_of(dev, static_cast<disk::Lba>(e) * ext + ext - 1))
+        << "extent " << e << " not routed as a unit";
+    EXPECT_EQ(k, rig.driver->shard_of(dev, static_cast<disk::Lba>(e) * ext));  // stable
+    hit.insert(k);
+  }
+  EXPECT_EQ(hit.size(), 4u) << "64 extents left a shard unused";
+  // Different devices spread differently (the hash mixes the device in).
+  std::size_t diffs = 0;
+  for (std::uint32_t e = 0; e < 64; ++e)
+    if (rig.driver->shard_of(rig.devices[0], static_cast<disk::Lba>(e) * ext) !=
+        rig.driver->shard_of(rig.devices[1], static_cast<disk::Lba>(e) * ext))
+      ++diffs;
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST(ShardedRouting, StripedRoutingIsRoundRobinPerDevice) {
+  ShardedRig rig(4);
+  ShardedConfig cfg;
+  cfg.routing = ShardRouting::kStriped;
+  rig.start(cfg);
+  const std::uint32_t ext = cfg.extent_sectors;
+  for (std::uint32_t e = 0; e < 16; ++e)
+    EXPECT_EQ(rig.driver->shard_of(rig.devices[0], static_cast<disk::Lba>(e) * ext), e % 4);
+}
+
+TEST(ShardedRouting, RejectsBadConfig) {
+  sim::Simulator sim;
+  ShardedConfig cfg;
+  cfg.extent_sectors = 0;
+  disk::DiskDevice log(sim, disk::small_test_disk());
+  core::format_log_disk(log);
+  EXPECT_THROW(ShardedDriver(sim, {&log}, cfg), std::invalid_argument);
+  EXPECT_THROW(ShardedDriver(sim, {}, ShardedConfig{}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Write / read paths
+// ---------------------------------------------------------------------------
+
+TEST(ShardedIo, WriteWithinOneExtentStaysOnOneShard) {
+  ShardedRig rig(2);
+  rig.start();
+  rig.write_sync(io::BlockAddr{rig.devices[0], 10}, make_pattern(2, 1));
+  const auto got = rig.read_sync(io::BlockAddr{rig.devices[0], 10}, 2);
+  EXPECT_EQ(std::memcmp(got.data(), rig.acked[{rig.devices[0].index(), 10}].data(),
+                        kSectorSize),
+            0);
+  const core::TrailStats total = rig.driver->combined_stats();
+  EXPECT_EQ(total.requests_logged, 1u);
+  rig.settle();
+  rig.expect_clean_audit(/*quiescent=*/true);
+}
+
+TEST(ShardedIo, WriteSpanningExtentsSplitsAndReadsBack) {
+  ShardedRig rig(2);
+  ShardedConfig cfg;
+  cfg.routing = ShardRouting::kStriped;  // extents 0 and 1 on different shards
+  rig.start(cfg);
+  const disk::Lba lba = cfg.extent_sectors - 1;  // last sector of extent 0
+  const auto pattern = make_pattern(2, 7);
+  rig.write_sync(io::BlockAddr{rig.devices[0], lba}, pattern);
+
+  // One request, two shards: each logged exactly one chunk.
+  EXPECT_EQ(rig.driver->shard(0).stats().requests_logged, 1u);
+  EXPECT_EQ(rig.driver->shard(1).stats().requests_logged, 1u);
+  EXPECT_EQ(rig.driver->routed_sectors(0), 1u);
+  EXPECT_EQ(rig.driver->routed_sectors(1), 1u);
+
+  const auto got = rig.read_sync(io::BlockAddr{rig.devices[0], lba}, 2);
+  EXPECT_EQ(std::memcmp(got.data(), pattern.data(), pattern.size()), 0);
+  rig.settle();
+  rig.expect_clean_audit(/*quiescent=*/true);
+}
+
+TEST(ShardedIo, AckedWritesSurviveDrainToDataDisks) {
+  ShardedRig rig(4, /*data_disk_count=*/2);
+  rig.start();
+  sim::Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const auto dev = rig.devices[static_cast<std::size_t>(rng.uniform(0, 1))];
+    const auto lba = static_cast<disk::Lba>(rng.uniform(0, 1400));
+    rig.write_sync(io::BlockAddr{dev, lba}, make_pattern(2, 1000 + i));
+  }
+  rig.settle();
+  // Sequencing quiesced: every drawn sequence is durable and ungated.
+  EXPECT_EQ(rig.driver->gated_acks_pending(), 0u);
+  EXPECT_GT(rig.driver->committed_watermark(), 0u);
+  // Content went through write-back to the shared data disks.
+  for (const auto& [key, bytes] : rig.acked) {
+    std::vector<std::byte> got(kSectorSize);
+    rig.data_disks.at(key.first & 0xFF)->store().read(key.second, 1, got);
+    ASSERT_EQ(std::memcmp(got.data(), bytes.data(), kSectorSize), 0)
+        << "data disk stale at lba " << key.second;
+  }
+  rig.expect_clean_audit(/*quiescent=*/true);
+  EXPECT_GT(rig.driver->combined_stats().requests_logged, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watermark-gated acknowledgements
+// ---------------------------------------------------------------------------
+
+/// Shard 0 gets a glacial log disk, shard 1 a fast one. W1 routes to
+/// shard 0 and draws sequence 1; W2 routes to shard 1, draws sequence 2,
+/// and is durable long before W1. Gated acks must hold W2 until W1's
+/// durability advances the watermark past it.
+TEST(ShardedGating, AckWaitsForGlobalWatermark) {
+  disk::DiskProfile slow = disk::small_test_disk();
+  slow.command_overhead = sim::millis_f(40.0);
+  for (const bool gated : {true, false}) {
+    ShardedRig rig(2, 1, {slow, disk::small_test_disk()});
+    ShardedConfig cfg;
+    cfg.routing = ShardRouting::kStriped;
+    cfg.watermark_acks = gated;
+    rig.start(cfg);
+
+    const auto p1 = make_pattern(1, 1);
+    const auto p2 = make_pattern(1, 2);
+    sim::TimePoint ack1{}, ack2{};
+    bool done1 = false, done2 = false;
+    // Extent 0 -> shard 0 (slow), extent 1 -> shard 1 (fast).
+    rig.driver->submit_write(io::BlockAddr{rig.devices[0], 0}, 1, p1, [&] {
+      ack1 = rig.sim.now();
+      done1 = true;
+    });
+    rig.driver->submit_write(io::BlockAddr{rig.devices[0], cfg.extent_sectors}, 1, p2, [&] {
+      ack2 = rig.sim.now();
+      done2 = true;
+    });
+    rig.pump(done1);
+    rig.pump(done2);
+    if (gated) {
+      // W2 could not overtake W1 in the global commit order.
+      EXPECT_GE(ack2, ack1);
+      EXPECT_EQ(rig.driver->committed_watermark(), 2u);
+    } else {
+      // Ungated: the fast shard acknowledges long before the slow one.
+      EXPECT_LT(ack2, ack1);
+    }
+    rig.settle();
+    rig.expect_clean_audit(/*quiescent=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard crash recovery: table test over shard counts x crash points
+// ---------------------------------------------------------------------------
+
+struct CrashCase {
+  std::size_t shards;
+  int crash_after_steps;
+};
+
+class ShardedCrashTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(ShardedCrashTest, MergedRecoveryRespectsGlobalSequenceAndCut) {
+  const CrashCase param = GetParam();
+  ShardedRig rig(param.shards, 2);
+  ShardedConfig cfg;
+  cfg.shard.recovery_write_back = false;  // adopt: recovered records stay visible
+  rig.start(cfg);
+
+  // Chained writers hammering random extents keep every shard's log busy
+  // so the crash lands mid-traffic (often mid-physical-write).
+  constexpr int kWriters = 6;
+  sim::Rng rng(7 + param.crash_after_steps);
+  std::uint64_t seed = 0;
+  // Chains outlive every pending callback (all acks die at the crash),
+  // so the lambdas capture raw pointers — a captured shared_ptr would
+  // make each chain own itself.
+  std::vector<std::unique_ptr<std::function<void()>>> chains;
+  for (int w = 0; w < kWriters; ++w) {
+    chains.push_back(std::make_unique<std::function<void()>>());
+    auto* chain = chains.back().get();
+    *chain = [&rig, &rng, chain, &seed] {
+      const auto dev = rig.devices[static_cast<std::size_t>(rng.uniform(0, 1))];
+      const auto lba = static_cast<disk::Lba>(rng.uniform(0, 1400));
+      auto data = std::make_shared<std::vector<std::byte>>(make_pattern(2, ++seed));
+      rig.driver->submit_write(io::BlockAddr{dev, lba}, 2, *data,
+                               [&rig, dev, lba, data, chain] {
+                                 for (std::uint32_t i = 0; i < 2; ++i)
+                                   rig.acked[{dev.index(), lba + i}].assign(
+                                       data->begin() + static_cast<std::ptrdiff_t>(i) * kSectorSize,
+                                       data->begin() +
+                                           static_cast<std::ptrdiff_t>(i + 1) * kSectorSize);
+                                 (*chain)();
+                               });
+    };
+    (*chain)();
+  }
+  for (int i = 0; i < param.crash_after_steps; ++i)
+    ASSERT_TRUE(rig.sim.step()) << "workload stalled before the crash point";
+
+  rig.crash_and_remount(cfg);
+
+  const core::ShardedRecoveryStats& rec = rig.driver->last_recovery();
+  EXPECT_EQ(rec.shards.size(), param.shards);
+  EXPECT_GT(rec.crashed_shards, 0u);
+
+  // Merged replay: the union of adopted record keys across shards is the
+  // global order — strictly increasing, no duplicates, and entirely
+  // below the consistency cut.
+  std::set<std::uint64_t> merged;
+  for (std::size_t k = 0; k < param.shards; ++k)
+    for (const std::uint64_t key : rig.driver->shard(k).live_record_keys())
+      EXPECT_TRUE(merged.insert(key).second) << "duplicate record key across shards";
+  for (const std::uint64_t key : merged)
+    EXPECT_LT(key, rec.cut_before) << "record above the consistency cut survived";
+  if (rec.records_dropped_torn == 0) {
+    EXPECT_EQ(rec.cut_before, ~std::uint64_t{0});
+    EXPECT_EQ(rec.records_cut, 0u);
+  }
+
+  rig.expect_clean_audit(/*quiescent=*/true);
+
+  // Nothing acknowledged may be lost, and the array keeps working.
+  rig.verify_acked_durable();
+  rig.write_sync(io::BlockAddr{rig.devices[0], 20}, make_pattern(2, 424242));
+  rig.settle();
+  rig.verify_acked_durable();
+  rig.expect_clean_audit(/*quiescent=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCountsAndCrashPoints, ShardedCrashTest,
+                         ::testing::Values(CrashCase{2, 60}, CrashCase{2, 150},
+                                           CrashCase{2, 400}, CrashCase{4, 60},
+                                           CrashCase{4, 150}, CrashCase{4, 400},
+                                           CrashCase{4, 900}),
+                         [](const ::testing::TestParamInfo<CrashCase>& info) {
+                           return "shards" + std::to_string(info.param.shards) + "_steps" +
+                                  std::to_string(info.param.crash_after_steps);
+                         });
+
+/// The sweep above must exercise both sides of the cut logic: at least
+/// one crash point where intact records were cut and one where none were.
+TEST(ShardedCrashCoverage, SweepHitsCutAndNoCutCases) {
+  int cut_cases = 0;
+  int clean_cases = 0;
+  for (const CrashCase param : {CrashCase{2, 60}, CrashCase{2, 150}, CrashCase{2, 400},
+                                CrashCase{4, 60}, CrashCase{4, 150}, CrashCase{4, 400},
+                                CrashCase{4, 900}}) {
+    ShardedRig rig(param.shards, 2);
+    ShardedConfig cfg;
+    cfg.shard.recovery_write_back = false;
+    rig.start(cfg);
+    constexpr int kWriters = 6;
+    sim::Rng rng(7 + param.crash_after_steps);
+    std::uint64_t seed = 0;
+    std::vector<std::unique_ptr<std::function<void()>>> chains;
+    for (int w = 0; w < kWriters; ++w) {
+      chains.push_back(std::make_unique<std::function<void()>>());
+      auto* chain = chains.back().get();
+      *chain = [&rig, &rng, chain, &seed] {
+        const auto dev = rig.devices[static_cast<std::size_t>(rng.uniform(0, 1))];
+        const auto lba = static_cast<disk::Lba>(rng.uniform(0, 1400));
+        auto data = std::make_shared<std::vector<std::byte>>(make_pattern(2, ++seed));
+        rig.driver->submit_write(io::BlockAddr{dev, lba}, 2, *data, [chain] { (*chain)(); });
+      };
+      (*chain)();
+    }
+    for (int i = 0; i < param.crash_after_steps; ++i) ASSERT_TRUE(rig.sim.step());
+    rig.crash_and_remount(cfg);
+    if (rig.driver->last_recovery().records_cut > 0)
+      ++cut_cases;
+    else
+      ++clean_cases;
+  }
+  EXPECT_GT(cut_cases, 0) << "no crash point produced a cross-shard cut";
+  EXPECT_GT(clean_cases, 0) << "every crash point produced a cut";
+}
+
+// ---------------------------------------------------------------------------
+// Clean shutdown & epochs
+// ---------------------------------------------------------------------------
+
+TEST(ShardedLifecycle, CleanUnmountRemountsWithoutRecovery) {
+  ShardedRig rig(2);
+  rig.start();
+  rig.write_sync(io::BlockAddr{rig.devices[0], 5}, make_pattern(2, 3));
+  const std::uint32_t epoch_before = rig.driver->epoch();
+  rig.driver->unmount();
+  rig.driver.reset();
+  rig.start();
+
+  EXPECT_EQ(rig.driver->last_recovery().crashed_shards, 0u);
+  EXPECT_EQ(rig.driver->last_recovery().records_found, 0u);
+  EXPECT_GT(rig.driver->epoch(), epoch_before);
+  // All shards mount into one common epoch.
+  for (std::size_t k = 0; k < rig.driver->shard_count(); ++k)
+    EXPECT_EQ(rig.driver->shard(k).epoch(), rig.driver->epoch());
+  rig.verify_acked_durable();
+  rig.expect_clean_audit(/*quiescent=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Observability scoping
+// ---------------------------------------------------------------------------
+
+TEST(ShardedObs, PerShardMetricsAndRoutingGauges) {
+  ShardedRig rig(2);
+  std::vector<disk::DiskDevice*> raw;
+  for (auto& d : rig.log_disks) raw.push_back(d.get());
+  obs::Obs obs{rig.sim};
+  rig.driver = std::make_unique<ShardedDriver>(rig.sim, raw, ShardedConfig{});
+  for (auto& d : rig.data_disks) rig.devices.push_back(rig.driver->add_data_disk(*d));
+  rig.driver->attach_obs(&obs);
+  rig.driver->mount();
+
+  for (int i = 0; i < 12; ++i)
+    rig.write_sync(io::BlockAddr{rig.devices[0], static_cast<disk::Lba>(i) * 100},
+                   make_pattern(1, 50 + i));
+  rig.settle();
+
+  const std::string json = obs.metrics.to_json();
+  EXPECT_NE(json.find("shard.0.trail.sync_write_ns"), std::string::npos) << json;
+  EXPECT_NE(json.find("shard.1.trail.sync_write_ns"), std::string::npos) << json;
+  EXPECT_NE(json.find("shard.routing_imbalance_pct"), std::string::npos) << json;
+  EXPECT_NE(json.find("shard.0.routed_sectors"), std::string::npos) << json;
+  // Every routed sector is attributed to exactly one shard.
+  EXPECT_EQ(rig.driver->routed_sectors(0) + rig.driver->routed_sectors(1), 12u);
+  EXPECT_GE(rig.driver->routing_imbalance(), 0.0);
+}
+
+}  // namespace
+}  // namespace trail::testing
