@@ -266,12 +266,17 @@ void BM_ObsScopedSpan(benchmark::State& state) {
 BENCHMARK(BM_ObsScopedSpan)->Arg(0)->Arg(1);
 
 // End-to-end wall-clock cost of one chained sync-write workload through
-// the instrumented TrailDriver, tracing off (arg 0) vs on (arg 1): the
-// delta is the full price of instrumentation on the realest path we
-// have, and the acceptance bar is ~zero when disabled. The simulated
-// sync-write latency distribution lands as p50_ns/p99_ns counters.
+// the instrumented TrailDriver across three instrumentation tiers:
+//   arg 0 — request attribution off, tracer off (bare metrics baseline)
+//   arg 1 — attribution on, tracer on (everything)
+//   arg 2 — attribution on, tracer off (the always-on production shape)
+// The 2-vs-0 delta is the full price of request attribution
+// (obs::ReqTracker + flight recorder) on the realest path we have; CI
+// floors it at < 5%. The simulated sync-write latency distribution lands
+// as p50_ns/p99_ns counters.
 void BM_TrailSyncWriteCycle(benchmark::State& state) {
-  const bool traced = state.range(0) != 0;
+  const bool traced = state.range(0) == 1;
+  const bool attributed = state.range(0) != 0;
   constexpr int kWrites = 400;
   double p50 = 0.0, p99 = 0.0;
   for (auto _ : state) {
@@ -283,7 +288,9 @@ void BM_TrailSyncWriteCycle(benchmark::State& state) {
     core::TrailDriver driver(simulator, log_disk);
     obs::Obs obs(simulator, 1 << 14);
     obs.tracer.set_enabled(traced);
-    driver.attach_obs(&obs);
+    core::ObsScope scope;
+    scope.request_attribution = attributed;
+    driver.attach_obs(&obs, scope);
     const io::DeviceId dev = driver.add_data_disk(data_disk);
     driver.mount();
     sim::Rng rng(11);
@@ -313,7 +320,7 @@ void BM_TrailSyncWriteCycle(benchmark::State& state) {
   state.counters["p50_ns"] = p50;
   state.counters["p99_ns"] = p99;
 }
-BENCHMARK(BM_TrailSyncWriteCycle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrailSyncWriteCycle)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 // The batched write-back path end-to-end: a burst of adjacent
 // single-sector writes whose write-backs pile up behind the data disk and

@@ -9,6 +9,14 @@
 // warnings are legal, errors are not) and once after recovery + clean
 // unmount (which must produce zero error findings). Exits non-zero if
 // either pass finds an error — this is the CI corruption tripwire.
+//
+// With `--flightdump [path]` it runs the same crash + recovery scenario
+// with observability attached and dumps the flight recorder: the bounded
+// ring of per-request phase summaries (obs/req.hpp) that every request
+// leaves behind, plus the kFlagRecovered entries recovery appends for
+// each replayed record. This is the always-on black box a failed audit
+// would print — here exposed directly for postmortem tooling and CI
+// artifacts.
 
 #include <cstdio>
 #include <cstring>
@@ -19,6 +27,7 @@
 #include "core/log_scanner.hpp"
 #include "core/trail_driver.hpp"
 #include "disk/profile.hpp"
+#include "obs/obs.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -33,12 +42,15 @@ struct Deployment {
 };
 
 // Session 1: clean workload + unmount. Session 2: crash with pending
-// records (data disk halted so write-back cannot drain them).
-void run_workload(Deployment& dep) {
+// records (data disk halted so write-back cannot drain them). With a
+// non-null `obs`, every driver session runs with attribution attached so
+// the flight recorder accumulates request summaries across the crash.
+void run_workload(Deployment& dep, obs::Obs* obs = nullptr) {
   core::format_log_disk(dep.log_disk);
   {
     core::TrailDriver driver(dep.simulator, dep.log_disk);
     const io::DeviceId dev = driver.add_data_disk(dep.data_disk);
+    if (obs != nullptr) driver.attach_obs(obs);
     driver.mount();
     sim::Rng rng(1);
     std::vector<std::byte> block(2 * disk::kSectorSize, std::byte{0x11});
@@ -52,6 +64,7 @@ void run_workload(Deployment& dep) {
   }
   auto driver = std::make_unique<core::TrailDriver>(dep.simulator, dep.log_disk);
   const io::DeviceId dev = driver->add_data_disk(dep.data_disk);
+  if (obs != nullptr) driver->attach_obs(obs);
   driver->mount();
   dep.data_disk.crash_halt();
   {
@@ -69,11 +82,12 @@ void run_workload(Deployment& dep) {
 
 // Reboot the crashed deployment, let recovery replay the chain, then
 // unmount cleanly so the image reaches its post-recovery steady state.
-void reboot_and_recover(Deployment& dep, bool verbose) {
+void reboot_and_recover(Deployment& dep, bool verbose, obs::Obs* obs = nullptr) {
   dep.log_disk.restart();
   dep.data_disk.restart();
   core::TrailDriver rebooted(dep.simulator, dep.log_disk);
   (void)rebooted.add_data_disk(dep.data_disk);
+  if (obs != nullptr) rebooted.attach_obs(obs);
   rebooted.mount();
   if (verbose)
     std::printf("recovered %u records (%u track scans, %.1f ms locate)\n",
@@ -112,6 +126,32 @@ int run_fsck(const char* report_path) {
   std::printf("\nfsck: crashed image %s, post-recovery image %s\n",
               crashed_ok ? "OK" : "HAS ERRORS", recovered_ok ? "OK" : "HAS ERRORS");
   return crashed_ok && recovered_ok ? 0 : 1;
+}
+
+// --flightdump: crash + recover with attribution on, then print the
+// flight recorder's contents — acked requests carry their per-phase
+// breakdown, recovery's replayed records are flagged R(ecovered).
+int run_flightdump(const char* path) {
+  Deployment dep;
+  obs::Obs obs(dep.simulator);
+  run_workload(dep, &obs);
+  reboot_and_recover(dep, /*verbose=*/true, &obs);
+  const std::string dump = obs.flight.dump();
+  if (path != nullptr) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "log_inspector: cannot write %s\n", path);
+      return 2;
+    }
+    std::fwrite(dump.data(), 1, dump.size(), f);
+    std::fclose(f);
+    std::printf("flight dump written to %s\n", path);
+  } else {
+    std::printf("%s", dump.c_str());
+  }
+  // The dump must retain entries: the workload acked requests and
+  // recovery replayed records, all of which land in the ring.
+  return obs.flight.size() > 0 ? 0 : 1;
 }
 
 int run_tour() {
@@ -174,8 +214,10 @@ int run_tour() {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--fsck") == 0)
     return run_fsck(argc > 2 ? argv[2] : nullptr);
+  if (argc > 1 && std::strcmp(argv[1], "--flightdump") == 0)
+    return run_flightdump(argc > 2 ? argv[2] : nullptr);
   if (argc > 1) {
-    std::fprintf(stderr, "usage: %s [--fsck [report-path]]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--fsck [report-path] | --flightdump [path]]\n", argv[0]);
     return 2;
   }
   return run_tour();

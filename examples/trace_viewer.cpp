@@ -10,10 +10,15 @@
 // byte-identical output on every run — CI diffs two runs to prove it.
 //
 // Usage: trace_viewer [writes=200] [seed=1] [trace_out=trace.json]
-//                     [metrics_out=metrics.json]
+//                     [metrics_out=metrics.json] [--openmetrics <path>]
+//
+// --openmetrics additionally writes the registry's OpenMetrics text
+// exposition (MetricsRegistry::to_openmetrics) — the same byte-stable
+// determinism contract as the JSON outputs, so CI diffs all three.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -40,10 +45,25 @@ bool write_file(const std::string& path, const std::string& body) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int writes = argc > 1 ? std::atoi(argv[1]) : 200;
-  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
-  const std::string trace_path = argc > 3 ? argv[3] : "trace.json";
-  const std::string metrics_path = argc > 4 ? argv[4] : "metrics.json";
+  // Flags may appear anywhere; positionals keep their historical order.
+  std::string openmetrics_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--openmetrics") == 0) {
+      if (i + 1 == argc) {
+        std::fprintf(stderr, "trace_viewer: --openmetrics needs a path\n");
+        return 2;
+      }
+      openmetrics_path = argv[++i];
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  const int writes = !positional.empty() ? std::atoi(positional[0]) : 200;
+  const std::uint64_t seed =
+      positional.size() > 1 ? static_cast<std::uint64_t>(std::atoll(positional[1])) : 1;
+  const std::string trace_path = positional.size() > 2 ? positional[2] : "trace.json";
+  const std::string metrics_path = positional.size() > 3 ? positional[3] : "metrics.json";
 
   sim::Simulator simulator;
   disk::DiskDevice log_disk(simulator, disk::small_test_disk());
@@ -112,6 +132,14 @@ int main(int argc, char** argv) {
   if (!write_file(trace_path, trace) || !write_file(metrics_path, metrics)) {
     std::fprintf(stderr, "trace_viewer: failed writing output files\n");
     return 1;
+  }
+  if (!openmetrics_path.empty()) {
+    const std::string om = obs.metrics.to_openmetrics();
+    if (!write_file(openmetrics_path, om)) {
+      std::fprintf(stderr, "trace_viewer: failed writing %s\n", openmetrics_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%zu bytes, OpenMetrics)\n", openmetrics_path.c_str(), om.size());
   }
   std::printf("trace_viewer: seed=%llu writes=%d events=%zu dropped=%llu\n",
               static_cast<unsigned long long>(seed), writes, obs.tracer.size(),

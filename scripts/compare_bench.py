@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Diff committed google-benchmark JSONs across revisions.
+
+Usage:
+    compare_bench.py BASE.json HEAD.json [BASE2.json HEAD2.json ...] \
+        [-o BENCH_SUMMARY.json] [--fail-above PCT]
+
+Each BASE/HEAD pair is a before/after snapshot of the same bench binary
+(e.g. the previous commit's BENCH_engine.json against a fresh run). For
+every benchmark name the script extracts one representative time — the
+`median` aggregate when repetitions ran, the sole iteration row otherwise
+— normalizes it to nanoseconds, and reports the HEAD-vs-BASE delta in
+percent (positive = slower). Scalar summary blocks the runner injects
+(tab1_batching, multilog, codec) are diffed too, by flattened key.
+
+Output: a human table on stdout plus a machine-readable summary (default
+BENCH_SUMMARY.json) with per-name {base_ns, head_ns, delta_pct} rows and
+added/removed name lists. With --fail-above, exits 1 when any common
+benchmark regressed by more than PCT percent — a coarse CI tripwire; the
+authoritative per-metric floors live in the workflow itself.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(path):
+    """name -> representative real_time in ns for every benchmark row."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("benchmarks", [])
+    medians = {}
+    iterations = {}
+    for b in rows:
+        name = b.get("run_name", b["name"])
+        scale = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        value = b.get("real_time", 0.0) * scale
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name] = value
+        else:
+            # Last iteration row wins; only used when no aggregate exists.
+            iterations[name] = value
+    for name, value in iterations.items():
+        medians.setdefault(name, value)
+    return medians, doc
+
+
+def flatten_scalars(doc):
+    """Flatten the injected summary blocks to dotted-key -> number."""
+    out = {}
+
+    def walk(prefix, node):
+        if isinstance(node, dict):
+            for k, v in node.items():
+                walk(f"{prefix}.{k}" if prefix else k, v)
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            out[prefix] = float(node)
+
+    for key in ("tab1_batching", "multilog", "codec"):
+        if key in doc:
+            walk(key, doc[key])
+    return out
+
+
+def delta_pct(base, head):
+    if base == 0:
+        return None
+    return (head - base) / base * 100.0
+
+
+def compare_pair(base_path, head_path):
+    base_medians, base_doc = load_medians(base_path)
+    head_medians, head_doc = load_medians(head_path)
+
+    rows = []
+    for name in sorted(set(base_medians) & set(head_medians)):
+        rows.append({
+            "name": name,
+            "base_ns": base_medians[name],
+            "head_ns": head_medians[name],
+            "delta_pct": delta_pct(base_medians[name], head_medians[name]),
+        })
+
+    base_scalars = flatten_scalars(base_doc)
+    head_scalars = flatten_scalars(head_doc)
+    scalars = []
+    for key in sorted(set(base_scalars) & set(head_scalars)):
+        scalars.append({
+            "name": key,
+            "base": base_scalars[key],
+            "head": head_scalars[key],
+            "delta_pct": delta_pct(base_scalars[key], head_scalars[key]),
+        })
+
+    return {
+        "base": base_path,
+        "head": head_path,
+        "benchmarks": rows,
+        "scalars": scalars,
+        "added": sorted(set(head_medians) - set(base_medians)),
+        "removed": sorted(set(base_medians) - set(head_medians)),
+    }
+
+
+def print_pair(pair):
+    print(f"== {pair['base']} -> {pair['head']} ==")
+    width = max((len(r["name"]) for r in pair["benchmarks"]), default=0)
+    for r in pair["benchmarks"]:
+        d = r["delta_pct"]
+        tag = "   n/a" if d is None else f"{d:+6.1f}%"
+        print(f"  {r['name']:<{width}}  {r['base_ns']:>14.0f}ns  "
+              f"{r['head_ns']:>14.0f}ns  {tag}")
+    for r in pair["scalars"]:
+        d = r["delta_pct"]
+        tag = "   n/a" if d is None else f"{d:+6.1f}%"
+        print(f"  {r['name']:<{width}}  {r['base']:>16.4g}  {r['head']:>16.4g}  {tag}")
+    for name in pair["added"]:
+        print(f"  + {name} (new)")
+    for name in pair["removed"]:
+        print(f"  - {name} (removed)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="BASE.json HEAD.json pairs")
+    ap.add_argument("-o", "--output", default="BENCH_SUMMARY.json")
+    ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                    help="exit 1 if any common benchmark slowed by > PCT%%")
+    args = ap.parse_args()
+    if len(args.files) % 2 != 0:
+        ap.error("files must come in BASE HEAD pairs")
+
+    pairs = []
+    for i in range(0, len(args.files), 2):
+        pair = compare_pair(args.files[i], args.files[i + 1])
+        print_pair(pair)
+        pairs.append(pair)
+
+    with open(args.output, "w") as f:
+        json.dump({"pairs": pairs}, f, indent=1)
+        f.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.fail_above is not None:
+        worst = [(r["name"], r["delta_pct"])
+                 for p in pairs for r in p["benchmarks"]
+                 if r["delta_pct"] is not None and r["delta_pct"] > args.fail_above]
+        if worst:
+            for name, d in worst:
+                print(f"REGRESSION: {name} slowed {d:+.1f}% "
+                      f"(> {args.fail_above}%)", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -162,16 +162,29 @@ if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
   inject_codec "$SMOKE_DIR/micro.json"
   print_histogram_blocks "$SMOKE_DIR/engine.json"
 else
-  run_bench bench_engine BENCH_engine.json
-  run_bench bench_micro BENCH_micro.json
+  # Snapshot the committed JSONs so the refreshed run can be diffed
+  # against them (scripts/compare_bench.py -> BENCH_SUMMARY.json).
+  PREV_DIR="$(mktemp -d)"
   TAB1_JSON="$(mktemp)"
   MULTILOG_JSON="$(mktemp)"
-  trap 'rm -f "$TAB1_JSON" "$MULTILOG_JSON"' EXIT
+  trap 'rm -rf "$TAB1_JSON" "$MULTILOG_JSON" "$PREV_DIR"' EXIT
+  for f in BENCH_engine.json BENCH_micro.json; do
+    [[ -f "$f" ]] && cp "$f" "$PREV_DIR/$f"
+  done
+  run_bench bench_engine BENCH_engine.json
+  run_bench bench_micro BENCH_micro.json
   "$BUILD_DIR/bench/bench_tab1_batching" "$TAB1_JSON"
   "$BUILD_DIR/bench/bench_multilog" "$MULTILOG_JSON"
   inject_tab1 "$TAB1_JSON" BENCH_micro.json
   inject_multilog "$MULTILOG_JSON" BENCH_engine.json
   inject_codec BENCH_micro.json
   print_histogram_blocks BENCH_engine.json
+  PAIRS=()
+  for f in BENCH_engine.json BENCH_micro.json; do
+    [[ -f "$PREV_DIR/$f" ]] && PAIRS+=("$PREV_DIR/$f" "$f")
+  done
+  if [[ ${#PAIRS[@]} -gt 0 ]]; then
+    python3 scripts/compare_bench.py "${PAIRS[@]}" -o BENCH_SUMMARY.json
+  fi
   echo "wrote BENCH_engine.json and BENCH_micro.json"
 fi

@@ -54,4 +54,14 @@ std::uint32_t HeadPredictor::predict_sector(disk::TrackId track, sim::TimePoint 
   return (under_head + skip) % spt;
 }
 
+sim::Duration HeadPredictor::position_time(disk::TrackId track, std::uint32_t sector,
+                                           sim::TimePoint t) const {
+  const double target = geometry_.angle_of(track, sector);
+  double wait_revs = target - angle_at(t + delta_);
+  wait_revs -= std::floor(wait_revs);  // [0, 1): fraction of a rotation
+  const auto wait_ns = static_cast<std::int64_t>(
+      wait_revs * static_cast<double>(rotate_time_.ns()));
+  return delta_ + sim::Duration{wait_ns};
+}
+
 }  // namespace trail::core

@@ -54,6 +54,15 @@ class HeadPredictor {
   /// rotation; writing before it costs nearly a full revolution.
   [[nodiscard]] std::uint32_t predict_sector(disk::TrackId track, sim::TimePoint t) const;
 
+  /// Estimated head-positioning cost of a write issued at time `t` whose
+  /// first sector is `sector` on `track`: command overhead (δ) plus the
+  /// rotational wait until that sector's leading edge passes under the
+  /// head. Built from the same published characteristics as
+  /// predict_sector — it is the model's own claim of its positioning
+  /// share, which the attribution layer charges to `req.phase.position`.
+  [[nodiscard]] sim::Duration position_time(disk::TrackId track, std::uint32_t sector,
+                                            sim::TimePoint t) const;
+
  private:
   const disk::Geometry& geometry_;
   sim::Duration rotate_time_;

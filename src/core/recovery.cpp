@@ -279,8 +279,22 @@ RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
   stats.rebuild_time = sim_.now() - rebuild_start;
   rebuild_span.finish();
   outcome.pending = std::move(chain);
-  if (obs_ != nullptr)
+  if (obs_ != nullptr) {
     obs_->metrics.counter(metric_prefix_ + "recovery.records_found").inc(stats.records_found);
+    // Leave a flight-recorder trail of what was rebuilt: one summary per
+    // recovered record (id = sequence, shard = log unit), flagged
+    // kFlagRecovered so a post-recovery dump separates replay from new
+    // traffic.
+    for (const RecoveredRecord& rec : outcome.pending) {
+      obs::FlightRecord fr;
+      fr.id = rec.header.sequence_id;
+      fr.shard = rec.log_unit;
+      fr.sectors = rec.header.batch_size;
+      fr.flags = obs::FlightRecord::kFlagRecovered;
+      fr.submit_ns = sim_.now().ns();
+      obs_->flight.push(fr);
+    }
+  }
 
   // ---- Phase 3: write pending records back to the data disks ----
   if (options.write_back && !outcome.pending.empty()) write_back(outcome.pending, stats);

@@ -65,6 +65,7 @@ void ShardedDriver::attach_obs(obs::Obs* obs) {
     scope.data_tid_base = base + obs::kDataDiskTidBase;
     scope.driver_tid = base + obs::kShardDriverTidOffset;
     scope.recovery_tid = base + obs::kShardRecoveryTidOffset;
+    scope.shard_id = static_cast<std::uint32_t>(k);
     shards_[k]->attach_obs(obs_, std::move(scope));
     c_routed_[k] = &obs_->metrics.counter("shard." + std::to_string(k) + ".routed_sectors");
   }
@@ -227,12 +228,29 @@ void ShardedDriver::submit_write(io::BlockAddr addr, std::uint32_t count,
   for (const Chunk& c : chunks) {
     note_routed(c.shard, c.count);
     const std::size_t k = c.shard;
-    shards_[k]->submit_write(
+    // Attribution: the array owns each chunk's request context — opened
+    // here at array-submit time (so routing/splitting lands in the route
+    // phase) and finished only after the watermark gate releases the
+    // acknowledgement (so gating cost lands in watermark_gate).
+    obs::ReqTracker* tracker = shards_[k]->req_tracker();
+    const std::uint64_t req_id =
+        tracker != nullptr ? tracker->open(sim_.now(), c.count, /*direct=*/false,
+                                           /*external=*/true)
+                           : 0;
+    shards_[k]->submit_write_attributed(
         io::BlockAddr{addr.device, addr.lba + c.offset}, c.count,
         data.subspan(static_cast<std::size_t>(c.offset) * disk::kSectorSize,
                      static_cast<std::size_t>(c.count) * disk::kSectorSize),
-        [this, k, part_done]() mutable {
+        [this, k, req_id, part_done]() mutable {
+          auto finish_ctx = [this, k, req_id] {
+            obs::ReqTracker* t = shards_[k]->req_tracker();
+            if (t != nullptr && req_id != 0) {
+              t->stamp(req_id, obs::ReqPhase::kWatermarkGate, sim_.now());
+              t->finish(req_id, sim_.now());
+            }
+          };
           if (!config_.watermark_acks) {
+            finish_ctx();
             part_done();
             return;
           }
@@ -243,12 +261,17 @@ void ShardedDriver::submit_write(io::BlockAddr addr, std::uint32_t count,
           // durable too.
           const std::uint32_t gate = shard_durable_high_[k];
           if (watermark_ >= gate) {
+            finish_ctx();
             part_done();
             return;
           }
           if (c_gated_acks_ != nullptr) c_gated_acks_->inc();
-          gated_.emplace(gate, std::move(part_done));
-        });
+          gated_.emplace(gate, [finish_ctx, part_done = std::move(part_done)]() mutable {
+            finish_ctx();
+            part_done();
+          });
+        },
+        req_id);
   }
 }
 
@@ -353,6 +376,17 @@ void ShardedDriver::run_audit(audit::Report& report, bool quiescent) const {
     seq.require(gated_.empty(), "acknowledgements still gated at a quiesce point");
   }
 
+  // With the gate empty, no request context — the array-owned external
+  // ones included — may remain open anywhere (the per-shard audits above
+  // only asserted their internally-owned contexts).
+  if (quiescent && !crashed_) {
+    audit::Check& attr = report.check("req.attribution");
+    for (const auto& s : shards_)
+      if (s->req_tracker() != nullptr)
+        attr.require(s->req_tracker()->open_count() == 0,
+                     "request contexts still open across the array at a quiesce point");
+  }
+
   // Extent ownership: every buffered (not yet written back) sector lives
   // on the shard that routing assigns its extent to.
   audit::Check& routing = report.check("sharded.routing");
@@ -371,9 +405,15 @@ void ShardedDriver::quiesce_audit(const char* where) const {
   audit::Report report;
   run_audit(report, /*quiescent=*/true);
   if (obs_ != nullptr) report.record_to(obs_->metrics);
-  if (!report.ok())
-    throw std::logic_error(std::string("ShardedDriver: invariant audit failed at ") + where +
-                           "\n" + report.to_string());
+  if (!report.ok()) {
+    std::string msg = std::string("ShardedDriver: invariant audit failed at ") + where + "\n" +
+                      report.to_string();
+    if (obs_ != nullptr && obs_->flight.size() > 0) {
+      msg += '\n';
+      msg += obs_->flight.dump_tail(16);
+    }
+    throw std::logic_error(msg);
+  }
 }
 
 }  // namespace trail::core

@@ -104,6 +104,8 @@ void TrailDriver::attach_data_queue_obs(std::size_t index) {
   obs_->tracer.set_track_name(tid, label);
   data_queues_[index]->attach_obs(obs_, tid,
                                   scope_.metric_prefix + "io.queue_depth.data" +
+                                      std::to_string(index),
+                                  scope_.metric_prefix + "io.service_ns.data" +
                                       std::to_string(index));
 }
 
@@ -115,6 +117,7 @@ void TrailDriver::attach_obs(obs::Obs* obs, ObsScope scope) {
     h_sync_write_ = h_phys_write_ = h_batch_ = nullptr;
     h_wb_ranges_ = h_wb_sectors_ = nullptr;
     g_log_queue_ = nullptr;
+    req_tracker_.reset();
     for (auto& q : data_queues_) q->attach_obs(nullptr, 0, "");
     return;
   }
@@ -126,6 +129,16 @@ void TrailDriver::attach_obs(obs::Obs* obs, ObsScope scope) {
   h_wb_sectors_ = &obs_->metrics.histogram(p + "wb.batch_sectors");
   g_log_queue_ = &obs_->metrics.gauge(p + "trail.log_queue_depth");
   trace_queue_depth_name_ = p + "trail.log_queue_depth";
+  if (scope_.request_attribution) {
+    obs::ReqTracker::Options opts;
+    opts.metric_prefix = p;
+    opts.shard = scope_.shard_id;
+    opts.trace_tid = scope_.driver_tid;
+    opts.stall_bound = config_.req_stall_bound;
+    req_tracker_ = std::make_unique<obs::ReqTracker>(*obs_, std::move(opts));
+  } else {
+    req_tracker_.reset();
+  }
   obs_->tracer.set_track_name(scope_.driver_tid, p + "driver");
   obs_->tracer.set_track_name(scope_.recovery_tid, p + "recovery");
   for (std::size_t u = 0; u < units_.size(); ++u)
@@ -342,6 +355,23 @@ void TrailDriver::run_audit(audit::Report& report, bool quiescent) const {
   records.require(block_live == buffers_->pending_records(),
                   "staging-buffer pending-record count disagrees with the live-record map");
 
+  // Request attribution (obs/req.hpp): the per-phase histogram mass must
+  // equal the end-to-end histogram mass at every instant (phases are
+  // buffered per-request and recorded atomically at finish), and no
+  // finished request may have had stamps that fail to partition its
+  // life. Quiescent adds: no driver-owned context left open (externally
+  // owned ones may legitimately wait on another shard's watermark).
+  if (req_tracker_ != nullptr) {
+    audit::Check& attr = report.check("req.attribution");
+    attr.require(req_tracker_->mismatches() == 0,
+                 "request phase stamps failed to partition the end-to-end latency");
+    attr.require(req_tracker_->phase_ns_total() == req_tracker_->total_ns_total(),
+                 "req.phase.* histogram mass != req.total_ns histogram mass");
+    if (quiescent)
+      attr.require(req_tracker_->open_internal() == 0,
+                   "driver-owned request contexts still open at a quiesce point");
+  }
+
   // Write-back accounting: every enqueued range is eventually either
   // dispatched to a data disk or skipped, exactly once; ranges still in
   // the device queues make up the difference. Holds at every instant, not
@@ -423,9 +453,16 @@ void TrailDriver::quiesce_audit(const char* where) const {
   audit::Report report;
   run_audit(report, /*quiescent=*/true);
   if (obs_ != nullptr) report.record_to(obs_->metrics);
-  if (!report.ok())
-    throw std::logic_error(std::string("TrailDriver: invariant audit failed at ") + where +
-                           "\n" + report.to_string());
+  if (!report.ok()) {
+    std::string msg = std::string("TrailDriver: invariant audit failed at ") + where + "\n" +
+                      report.to_string();
+    // Post-mortem context: the last requests the flight recorder saw.
+    if (obs_ != nullptr && obs_->flight.size() > 0) {
+      msg += '\n';
+      msg += obs_->flight.dump_tail(16);
+    }
+    throw std::logic_error(msg);
+  }
 }
 
 void TrailDriver::position_heads_initial() {
@@ -474,6 +511,9 @@ void TrailDriver::crash() {
   crashed_ = true;
   mounted_ = false;
   *alive_ = false;
+  // In-flight requests never complete; their attribution contexts go
+  // with them (completions that still fire hit the unknown-id path).
+  if (req_tracker_ != nullptr) req_tracker_->abandon_all();
   if (idle_timer_.valid()) {
     sim_.cancel(idle_timer_);
     idle_timer_ = sim::EventId{};
@@ -537,6 +577,12 @@ void TrailDriver::adopt_recovered(std::vector<RecoveredRecord> records) {
 
 void TrailDriver::submit_write(io::BlockAddr addr, std::uint32_t count,
                                std::span<const std::byte> data, Completion cb) {
+  submit_write_attributed(addr, count, data, std::move(cb), 0);
+}
+
+void TrailDriver::submit_write_attributed(io::BlockAddr addr, std::uint32_t count,
+                                          std::span<const std::byte> data, Completion cb,
+                                          std::uint64_t req_id) {
   if (crashed_) return;
   if (!mounted_) throw std::logic_error("TrailDriver: not mounted");
   if (count == 0) throw std::invalid_argument("TrailDriver: zero-sector write");
@@ -547,6 +593,17 @@ void TrailDriver::submit_write(io::BlockAddr addr, std::uint32_t count,
   req.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(count) * disk::kSectorSize);
   req.cb = std::move(cb);
   req.submitted = sim_.now();
+  if (req_tracker_ != nullptr) {
+    if (req_id != 0) {
+      // Array-owned context: charge everything since the array-level
+      // submit (routing, splitting) to the route phase at admission.
+      req.req_id = req_id;
+      req.req_external = true;
+      req_tracker_->stamp(req_id, obs::ReqPhase::kRoute, sim_.now());
+    } else {
+      req.req_id = req_tracker_->open(sim_.now(), count, /*direct=*/false, /*external=*/false);
+    }
+  }
   pending_.push_back(std::move(req));
   note_log_queue_depth();
   service_log_queue();
@@ -566,6 +623,8 @@ void TrailDriver::append_direct(std::span<const std::byte> bytes, std::uint64_t 
   req.data.resize(static_cast<std::size_t>(req.count) * disk::kSectorSize);  // zero pad
   req.cb = std::move(cb);
   req.submitted = sim_.now();
+  if (req_tracker_ != nullptr)
+    req.req_id = req_tracker_->open(sim_.now(), req.count, /*direct=*/true, /*external=*/false);
   pending_.push_back(std::move(req));
   note_log_queue_depth();
   service_log_queue();
@@ -779,6 +838,24 @@ bool TrailDriver::service_on_unit(std::uint8_t unit_id) {
   unit.allocator->occupy(first_pos, total, static_cast<std::uint32_t>(unit.inflight.size()));
   unit.busy = true;
   unit.busy_since = sim_.now();
+  if (req_tracker_ != nullptr) {
+    // This dispatch ends the queue phase for every request whose last
+    // sector rides on this physical write; the write's service span is
+    // later split into position + transfer using the predictor's own
+    // estimate for the landing sector chosen above.
+    unit.inflight_position = unit.predictor->position_time(track, first_pos, sim_.now());
+    std::size_t stamped = ~std::size_t{0};  // part.request indices are non-decreasing
+    for (const BuiltRecord& rec : unit.inflight) {
+      for (const BuiltRecord::Part& part : rec.parts) {
+        if (part.request == stamped) continue;
+        const PendingWrite& r = pending_[part.request];
+        if (r.req_id != 0 && r.logged + r.in_flight == r.count) {
+          req_tracker_->stamp(r.req_id, obs::ReqPhase::kQueue, sim_.now());
+          stamped = part.request;
+        }
+      }
+    }
+  }
   const std::uint32_t last_sector = pos - 1;
   auto alive = alive_;
   unit.device->write(base + first_pos, total, image, [this, alive, unit_id, last_sector] {
@@ -833,6 +910,10 @@ void TrailDriver::on_physical_write_done(std::uint8_t unit_id, std::uint32_t las
         ++stats_.requests_logged;
         ++acked;
         if (h_sync_write_ != nullptr) h_sync_write_->record(sim_.now() - r.submitted);
+        if (req_tracker_ != nullptr && r.req_id != 0) {
+          req_tracker_->stamp_service(r.req_id, unit.inflight_position, sim_.now());
+          if (!r.req_external) req_tracker_->finish(r.req_id, sim_.now());
+        }
         if (!r.direct) enqueue_writeback(r.addr.device, r.addr.lba, r.count);
         if (r.cb) acks.push_back(std::move(r.cb));
       }

@@ -103,6 +103,11 @@ struct TrailConfig {
   /// write carried. A ShardedDriver advances its global commit watermark
   /// here.
   std::function<void(std::uint32_t first_seq, std::uint32_t last_seq)> on_records_durable;
+  /// Stall watchdog bound for request attribution (obs::ReqTracker): a
+  /// single phase of one request lasting longer than this bumps
+  /// `req.stalls.<phase>` and traces an instant. 0 disables the watchdog
+  /// (phase histograms still record).
+  sim::Duration req_stall_bound{0};
 };
 
 struct TrailStats {
@@ -147,6 +152,11 @@ struct ObsScope {
   std::uint32_t data_tid_base = obs::kDataDiskTidBase;  // data-disk lanes
   std::uint32_t driver_tid = obs::kDriverTid;
   std::uint32_t recovery_tid = obs::kRecoveryTid;
+  std::uint32_t shard_id = 0;  // flight-record shard tag
+  /// Request-scoped causal attribution (obs::ReqTracker): per-phase
+  /// latency histograms + flight records for every synchronous write.
+  /// On by default; benches switch it off to measure its own overhead.
+  bool request_attribution = true;
 };
 
 class TrailDriver final : public io::BlockDriver {
@@ -237,6 +247,18 @@ class TrailDriver final : public io::BlockDriver {
   // BlockDriver interface.
   void submit_write(io::BlockAddr addr, std::uint32_t count, std::span<const std::byte> data,
                     Completion cb) override;
+  /// Sharding variant of submit_write: the array already opened request
+  /// context `req_id` on this shard's ReqTracker (and owns its finish —
+  /// the gate phase is stamped after the global watermark releases the
+  /// ack). req_id 0 == plain submit_write (the driver opens and finishes
+  /// its own context).
+  void submit_write_attributed(io::BlockAddr addr, std::uint32_t count,
+                               std::span<const std::byte> data, Completion cb,
+                               std::uint64_t req_id);
+  /// This driver's request tracker (null until attach_obs with
+  /// request_attribution). The ShardedDriver opens/finishes per-chunk
+  /// contexts through it.
+  [[nodiscard]] obs::ReqTracker* req_tracker() { return req_tracker_.get(); }
   void submit_read(io::BlockAddr addr, std::uint32_t count, std::span<std::byte> out,
                    Completion cb) override;
   void drain(Completion cb) override;
@@ -292,6 +314,8 @@ class TrailDriver final : public io::BlockDriver {
     bool direct = false;          // direct-log payload (no write-back)
     std::uint64_t cookie = 0;     // direct: byte offset in the client log
     sim::TimePoint submitted{};   // arrival time (sync-latency histogram)
+    std::uint64_t req_id = 0;     // attribution context (0 = untracked)
+    bool req_external = false;    // context finished by the array, not us
   };
   struct LiveRecord {
     std::uint8_t unit = 0;
@@ -343,6 +367,10 @@ class TrailDriver final : public io::BlockDriver {
     bool full = false;  // ring exhausted: next track still live
     std::vector<BuiltRecord> inflight;  // records of the in-flight write
     sim::TimePoint busy_since{};        // start of the in-flight operation
+    /// Predictor's positioning estimate (δ + rotational wait) for the
+    /// in-flight physical write; split out of the service span as
+    /// `req.phase.position` when the write completes.
+    sim::Duration inflight_position{};
     disk::SectorBuf scratch{};
 
     LogUnit(disk::DiskDevice& dev)
@@ -420,6 +448,9 @@ class TrailDriver final : public io::BlockDriver {
   obs::Histogram* h_wb_ranges_ = nullptr;    // coalesced ranges per wb command
   obs::Histogram* h_wb_sectors_ = nullptr;   // sectors per wb command
   obs::Gauge* g_log_queue_ = nullptr;        // pending synchronous writes
+  /// Request-scoped phase attribution (obs/req.hpp); created by
+  /// attach_obs when the scope asks for it.
+  std::unique_ptr<obs::ReqTracker> req_tracker_;
   /// Stable storage for the scoped queue-depth counter-lane name (the
   /// tracer keeps interned pointers, so the string must outlive it).
   std::string trace_queue_depth_name_ = "trail.log_queue_depth";

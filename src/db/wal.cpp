@@ -176,6 +176,7 @@ void LogManager::start_flush() {
       if (obs_ != nullptr && obs_->tracer.enabled())
         obs_->tracer.complete("wal.flush", "wal", submit_time, sim_.now() - submit_time,
                               obs::kWalTid);
+      note_flush_span(submit_time);
       stats_.flush_io_time += sim_.now() - submit_time;
       stats_.flushed_bytes += flush_target_ - durable_lsn_;
       durable_lsn_ = flush_target_;
@@ -240,6 +241,7 @@ void LogManager::start_flush() {
       if (obs_ != nullptr && obs_->tracer.enabled())
         obs_->tracer.complete("wal.flush", "wal", fs->submit_time,
                               sim_.now() - fs->submit_time, obs::kWalTid);
+      note_flush_span(fs->submit_time);
       stats_.flush_io_time += sim_.now() - fs->submit_time;
       stats_.flushed_bytes += flush_target_ - durable_lsn_;
       durable_lsn_ = flush_target_;
@@ -332,6 +334,17 @@ void LogManager::audit(audit::Report& report, bool quiescent) const {
     check.require(durable_lsn_ == next_lsn_, "undurable log bytes at a quiesce point");
     check.require(deferred_commits_.empty(),
                   "deferred group commits unaccounted at a quiesce point");
+  }
+}
+
+void LogManager::note_flush_span(sim::TimePoint submit_time) {
+  if (h_flush_ == nullptr) return;
+  const sim::Duration span = sim_.now() - submit_time;
+  h_flush_->record(span);
+  if (config_.flush_stall_bound > sim::Duration{0} && span > config_.flush_stall_bound) {
+    c_flush_stalls_->inc();
+    if (obs_->tracer.enabled())
+      obs_->tracer.instant_value("req.stall.wal_flush", "wal", span.ns(), obs::kWalTid);
   }
 }
 

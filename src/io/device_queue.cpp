@@ -26,12 +26,15 @@ void DeviceQueue::set_pacing(sim::Simulator* sim, WritebackPacing pacing) {
 }
 
 void DeviceQueue::attach_obs(obs::Obs* obs, std::uint32_t tid,
-                             std::string_view depth_gauge_name) {
+                             std::string_view depth_gauge_name,
+                             std::string_view service_hist_name) {
   obs_ = obs;
   obs_tid_ = tid;
   if (obs_ != nullptr) {
     depth_gauge_ = &obs_->metrics.gauge(depth_gauge_name);
     skip_counter_ = &obs_->metrics.counter("io.dispatch_skips");
+    h_service_ =
+        service_hist_name.empty() ? nullptr : &obs_->metrics.histogram(service_hist_name);
     if (pacing_.dirty_watermark_sectors > 0) {
       pacing_holds_ = &obs_->metrics.counter("wb.pacing_holds");
       pacing_release_watermark_ = &obs_->metrics.counter("wb.pacing_release_watermark");
@@ -40,6 +43,7 @@ void DeviceQueue::attach_obs(obs::Obs* obs, std::uint32_t tid,
   } else {
     depth_gauge_ = nullptr;
     skip_counter_ = nullptr;
+    h_service_ = nullptr;
     pacing_holds_ = pacing_release_watermark_ = pacing_release_age_ = nullptr;
   }
 }
@@ -136,10 +140,12 @@ void DeviceQueue::pump() {
     // checks the same flag so enabling the tracer mid-flight can't emit a
     // span whose start predates the enable (it would begin at time 0).
     const bool traced = obs_ != nullptr && obs_->tracer.enabled();
+    const bool timed = traced || h_service_ != nullptr;
     sim::TimePoint begin{};
-    if (traced) begin = obs_->tracer.now();
-    auto finish = [this, is_write, traced, begin, cb = std::move(io.on_complete)]() {
+    if (timed) begin = obs_->tracer.now();
+    auto finish = [this, is_write, traced, timed, begin, cb = std::move(io.on_complete)]() {
       dispatched_ = false;
+      if (timed && h_service_ != nullptr) h_service_->record(obs_->tracer.now() - begin);
       if (traced && obs_ != nullptr && obs_->tracer.enabled())
         obs_->tracer.complete(is_write ? "io.write" : "io.read", "io", begin,
                               obs_->tracer.now() - begin, obs_tid_);
@@ -250,9 +256,11 @@ void DeviceQueue::issue_batch_run() {
   const auto count = static_cast<std::uint32_t>(run.image.size() / disk::kSectorSize);
   if (b.on_dispatch) b.on_dispatch(run.ranges, count);
   const bool traced = obs_ != nullptr && obs_->tracer.enabled();
+  const bool timed = traced || h_service_ != nullptr;
   sim::TimePoint begin{};
-  if (traced) begin = obs_->tracer.now();
-  device_.write(run.lba, count, run.image, [this, traced, begin] {
+  if (timed) begin = obs_->tracer.now();
+  device_.write(run.lba, count, run.image, [this, traced, timed, begin] {
+    if (timed && h_service_ != nullptr) h_service_->record(obs_->tracer.now() - begin);
     if (traced && obs_ != nullptr && obs_->tracer.enabled())
       obs_->tracer.complete("io.write", "io", begin, obs_->tracer.now() - begin, obs_tid_);
     issue_batch_run();

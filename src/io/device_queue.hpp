@@ -62,7 +62,11 @@ class DeviceQueue {
   /// Optional observability: per-command service spans ("io.read" /
   /// "io.write") on lane `tid`, queue-depth gauge + counter lane, and a
   /// skipped-dispatch counter. Near-zero cost while the tracer is off.
-  void attach_obs(obs::Obs* obs, std::uint32_t tid, std::string_view depth_gauge_name);
+  /// `service_hist_name`, when non-empty, names a histogram recording
+  /// every command's device service time in ns (always on, tracer or
+  /// not — the attribution layer's view of data-disk service cost).
+  void attach_obs(obs::Obs* obs, std::uint32_t tid, std::string_view depth_gauge_name,
+                  std::string_view service_hist_name = {});
 
  private:
   /// One contiguous platter write carved out of a batched write-back after
@@ -102,6 +106,7 @@ class DeviceQueue {
   std::uint32_t obs_tid_ = 0;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Counter* skip_counter_ = nullptr;
+  obs::Histogram* h_service_ = nullptr;  // per-command service time, ns
 
   // Write-back pacing state. `pacing_open_` latches once the gate opens
   // (watermark or age) and resets when the write-back queue drains, so an

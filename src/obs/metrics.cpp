@@ -160,6 +160,120 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
+namespace {
+
+// "shard.<k>.rest" → (k, "rest"); anything else (including the
+// array-level "shard.split_writes" style names, where no digit run
+// follows) stays unlabeled.
+bool split_shard_prefix(const std::string& name, int& shard, std::string& base) {
+  if (name.rfind("shard.", 0) != 0) return false;
+  std::size_t i = 6;
+  int v = 0;
+  std::size_t digits = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    v = v * 10 + (name[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || digits > 6 || i + 1 >= name.size() || name[i] != '.') return false;
+  shard = v;
+  base = name.substr(i + 1);
+  return true;
+}
+
+std::string openmetrics_name(const std::string& base) {
+  std::string out = "trail_";
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_labels(std::string& out, int shard, const char* quantile) {
+  if (shard < 0 && quantile == nullptr) return;
+  out += '{';
+  bool first = true;
+  if (shard >= 0) {
+    append_fmt(out, "shard=\"%d\"", shard);
+    first = false;
+  }
+  if (quantile != nullptr) append_fmt(out, "%squantile=\"%s\"", first ? "" : ",", quantile);
+  out += '}';
+}
+
+/// Group one metric kind into families: family name → shard (-1 =
+/// unlabeled, ordered first) → metric. Family names are map-ordered and
+/// shard keys numeric, so emission order is fully deterministic.
+template <typename T>
+std::map<std::string, std::map<int, const T*>> group_families(
+    const std::map<std::string, T, std::less<>>& src) {
+  std::map<std::string, std::map<int, const T*>> fams;
+  for (const auto& [name, m] : src) {
+    int shard = -1;
+    std::string base = name;
+    (void)split_shard_prefix(name, shard, base);
+    fams[openmetrics_name(base)][shard] = &m;
+  }
+  return fams;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_openmetrics() const {
+  std::string out;
+  for (const auto& [fam, samples] : group_families(counters_)) {
+    append_fmt(out, "# TYPE %s counter\n", fam.c_str());
+    for (const auto& [shard, c] : samples) {
+      out += fam;
+      out += "_total";
+      append_labels(out, shard, nullptr);
+      append_fmt(out, " %llu\n", static_cast<unsigned long long>(c->value()));
+    }
+  }
+  for (const auto& [fam, samples] : group_families(gauges_)) {
+    append_fmt(out, "# TYPE %s gauge\n", fam.c_str());
+    for (const auto& [shard, g] : samples) {
+      out += fam;
+      append_labels(out, shard, nullptr);
+      append_fmt(out, " %lld\n", static_cast<long long>(g->value()));
+    }
+    // The high-watermark rides as a sibling gauge family.
+    append_fmt(out, "# TYPE %s_max gauge\n", fam.c_str());
+    for (const auto& [shard, g] : samples) {
+      out += fam;
+      out += "_max";
+      append_labels(out, shard, nullptr);
+      append_fmt(out, " %lld\n", static_cast<long long>(g->max()));
+    }
+  }
+  for (const auto& [fam, samples] : group_families(histograms_)) {
+    append_fmt(out, "# TYPE %s summary\n", fam.c_str());
+    for (const auto& [shard, h] : samples) {
+      static constexpr struct {
+        const char* label;
+        double p;
+      } kQuantiles[] = {{"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}};
+      for (const auto& q : kQuantiles) {
+        out += fam;
+        append_labels(out, shard, q.label);
+        append_fmt(out, " %.3f\n", h->percentile(q.p));
+      }
+      out += fam;
+      out += "_sum";
+      append_labels(out, shard, nullptr);
+      append_fmt(out, " %lld\n", static_cast<long long>(h->sum()));
+      out += fam;
+      out += "_count";
+      append_labels(out, shard, nullptr);
+      append_fmt(out, " %llu\n", static_cast<unsigned long long>(h->count()));
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();

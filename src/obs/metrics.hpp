@@ -123,6 +123,16 @@ class MetricsRegistry {
   /// "histograms":{name:{count,sum,min,max,mean,p50,p90,p99},...}}.
   [[nodiscard]] std::string to_json() const;
 
+  /// Deterministic OpenMetrics text exposition. Dots in metric names
+  /// become underscores under a `trail_` namespace; the sharded stack's
+  /// `shard.<k>.` name-prefix convention is lifted into a
+  /// `shard="<k>"` label so per-shard series form one family. Counters
+  /// emit `_total` samples, gauges a value plus a `_max` watermark
+  /// family, histograms OpenMetrics summaries (quantile 0.5/0.9/0.99 +
+  /// `_sum`/`_count`). Families and samples are name-ordered (shard
+  /// label numerically), so equal registries export equal bytes.
+  [[nodiscard]] std::string to_openmetrics() const;
+
   /// Zero every metric (between bench phases); names stay registered.
   void reset();
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/req.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -48,6 +49,9 @@ struct Obs {
 
   MetricsRegistry metrics;
   EventTracer tracer;
+  // Always-on post-mortem ring of finished-request summaries (see
+  // obs/req.hpp); shared by every ReqTracker attached to this context.
+  FlightRecorder flight;
 };
 
 }  // namespace trail::obs
