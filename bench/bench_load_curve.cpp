@@ -6,7 +6,22 @@
 // 1/(seek+rotation) ≈ 60 writes/s; Trail saturates an order of magnitude
 // higher, where batching stretches the knee even further (each physical
 // log write absorbs the whole backlog).
+//
+// `--mpsc [producers...]`: the same question asked with REAL threads —
+// a BtrLog-style commit-latency-vs-throughput curve. P producer threads
+// issue closed-loop synchronous 1 KB writes through the bounded MPSC
+// submission ring (core/submission_queue.hpp); the consumer thread
+// drains batches into the driver and steps the simulator. Sweeping P
+// traces the group-commit curve: throughput climbs with concurrency
+// (each physical log write absorbs more of the backlog) while commit
+// latency grows far slower than linearly. Latency and throughput are
+// SIMULATED time; only queue arrival interleaving is real.
 
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "core/submission_queue.hpp"
 #include "harness.hpp"
 
 namespace trail::bench {
@@ -66,12 +81,108 @@ Point run_rate(double rate_per_sec, MakeStack make_stack) {
   return p;
 }
 
+struct MpscPoint {
+  int producers;
+  double achieved_wps;  // simulated-time throughput
+  double mean_ms;
+  double p99_ms;
+  double mean_batch;       // requests per physical log write
+  std::uint64_t enqueued;
+  std::uint64_t blocked;   // producer backpressure stalls
+};
+
+/// Closed-loop MPL sweep over real producer threads: each producer
+/// submits, waits for its ticket, repeats. Throughput is measured acks
+/// over the simulated span from first measured submission to last ack.
+MpscPoint run_mpsc(int producers) {
+  constexpr std::uint32_t kWritesPerProducer = 120;
+  constexpr std::uint32_t kWarmupPerProducer = 20;
+
+  TrailStack stack(3);
+  core::SubmissionQueue queue({.capacity = 64, .policy = core::AdmissionPolicy::kBlock},
+                              &stack.obs.metrics);
+  core::MpscFrontEnd front_end(stack.sim, *stack.driver, queue, &stack.obs.metrics);
+  const disk::Lba device_sectors = stack.data_disks[0]->geometry().total_sectors();
+
+  auto latencies = std::make_shared<obs::Histogram>();  // atomic: producers record directly
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      sim::Rng rng(0x10adcf00 + static_cast<std::uint64_t>(p));
+      std::vector<std::byte> data(2 * disk::kSectorSize, std::byte{0x5C});
+      core::SyncTicket ticket;
+      for (std::uint32_t i = 0; i < kWarmupPerProducer + kWritesPerProducer; ++i) {
+        const auto dev = stack.devices[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(stack.devices.size()) - 1))];
+        const auto lba = static_cast<disk::Lba>(
+            rng.uniform(0, static_cast<std::int64_t>(device_sectors) - 3));
+        ticket.reset();
+        if (queue.submit({io::BlockAddr{dev, lba}, 2, data, &ticket}) !=
+            core::Admission::kOk) {
+          return;  // closed underneath us — bench teardown
+        }
+        ticket.wait();
+        if (i >= kWarmupPerProducer) latencies->record(ticket.latency_ns());
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (auto& t : threads) t.join();
+    queue.close();
+  });
+  front_end.run();  // this thread is the consumer / simulation thread
+  closer.join();
+
+  const auto& stats = stack.driver->stats();
+  MpscPoint pt;
+  pt.producers = producers;
+  const double span_sec = stack.sim.now().sec();
+  pt.achieved_wps =
+      span_sec > 0 ? static_cast<double>(front_end.acked()) / span_sec : 0.0;
+  pt.mean_ms = latencies->mean_ms();
+  pt.p99_ms = latencies->percentile_ms(99);
+  pt.mean_batch = stats.physical_log_writes > 0
+                      ? static_cast<double>(stats.requests_logged) /
+                            static_cast<double>(stats.physical_log_writes)
+                      : 0.0;
+  pt.enqueued = stack.obs.metrics.counter("mpsc.enqueued").value();
+  pt.blocked = stack.obs.metrics.counter("mpsc.blocked").value();
+  return pt;
+}
+
+int run_mpsc_sweep(const std::vector<int>& sweep) {
+  print_heading("real-thread MPSC closed-loop 1KB sync writes: commit latency vs throughput");
+  sim::TablePrinter table({"producers", "achieved (w/s)", "mean (ms)", "p99 (ms)",
+                           "reqs/phys write", "enqueued", "blocked"});
+  for (const int p : sweep) {
+    const MpscPoint pt = run_mpsc(p);
+    table.add_row({std::to_string(pt.producers), sim::TablePrinter::fmt(pt.achieved_wps, 0),
+                   sim::TablePrinter::fmt(pt.mean_ms, 2), sim::TablePrinter::fmt(pt.p99_ms, 2),
+                   sim::TablePrinter::fmt(pt.mean_batch, 2), std::to_string(pt.enqueued),
+                   std::to_string(pt.blocked)});
+  }
+  table.print();
+  std::printf("\n(closed-loop MPL sweep through the bounded MPSC ring: real producer\n"
+              " threads, one consumer stepping the simulator. Group commit absorbs\n"
+              " concurrency — throughput scales with producers while p99 commit\n"
+              " latency grows sublinearly, the BtrLog curve shape)\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace trail::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail::bench;
   namespace sim = trail::sim;
+
+  if (argc > 1 && std::strcmp(argv[1], "--mpsc") == 0) {
+    std::vector<int> sweep;
+    for (int i = 2; i < argc; ++i) sweep.push_back(std::atoi(argv[i]));
+    if (sweep.empty()) sweep = {1, 2, 4, 8, 16};
+    return run_mpsc_sweep(sweep);
+  }
 
   print_heading("open-loop Poisson 1KB sync writes: throughput-latency curves");
   sim::TablePrinter table({"offered (w/s)", "Trail mean (ms)", "Trail p99 (ms)",

@@ -18,6 +18,17 @@ BENCH_SUMMARY.json) with per-name {base_ns, head_ns, delta_pct} rows and
 added/removed name lists. With --fail-above, exits 1 when any common
 benchmark regressed by more than PCT percent — a coarse CI tripwire; the
 authoritative per-metric floors live in the workflow itself.
+
+Degraded inputs never produce a traceback:
+  * BASE absent / unreadable / invalid JSON / no benchmark rows — the
+    pair is skipped with a notice and the run stays green (exit 0):
+    that is the normal first run of a new bench binary, and CI passes
+    `continue-on-error` baselines here.
+  * HEAD absent or invalid — a clear error and exit 2: the head run is
+    the artifact this very workflow just produced, so a missing or
+    unparsable one is a real failure, never background noise.
+  * A benchmark present on only one side is reported in the
+    added/removed lists and excluded from deltas.
 """
 
 import argparse
@@ -28,9 +39,20 @@ TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_medians(path):
-    """name -> representative real_time in ns for every benchmark row."""
-    with open(path) as f:
-        doc = json.load(f)
+    """name -> representative real_time in ns for every benchmark row.
+
+    Returns (medians, doc, error): on any read/parse failure medians and
+    doc are empty and `error` says why — callers decide whether that is
+    fatal (HEAD) or skippable (BASE)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return {}, {}, f"cannot read {path}: {e.strerror or e}"
+    except json.JSONDecodeError as e:
+        return {}, {}, f"{path} is not valid JSON ({e})"
+    if not isinstance(doc, dict):
+        return {}, {}, f"{path}: expected a JSON object, got {type(doc).__name__}"
     rows = doc.get("benchmarks", [])
     medians = {}
     iterations = {}
@@ -46,7 +68,9 @@ def load_medians(path):
             iterations[name] = value
     for name, value in iterations.items():
         medians.setdefault(name, value)
-    return medians, doc
+    if not medians and not any(k in doc for k in ("tab1_batching", "multilog", "codec")):
+        return {}, {}, f"{path}: no benchmark rows or summary blocks"
+    return medians, doc, None
 
 
 def flatten_scalars(doc):
@@ -73,8 +97,16 @@ def delta_pct(base, head):
 
 
 def compare_pair(base_path, head_path):
-    base_medians, base_doc = load_medians(base_path)
-    head_medians, head_doc = load_medians(head_path)
+    """Returns (pair, error): pair is None when the comparison cannot
+    run. error is None (ok), a "skip:" notice (unusable BASE — not a
+    failure), or a hard message (unusable HEAD)."""
+    head_medians, head_doc, head_err = load_medians(head_path)
+    if head_err is not None:
+        return None, f"head run unusable — {head_err}"
+    base_medians, base_doc, base_err = load_medians(base_path)
+    if base_err is not None:
+        return None, (f"skip: no usable baseline ({base_err}) — "
+                      f"nothing to compare {head_path} against")
 
     rows = []
     for name in sorted(set(base_medians) & set(head_medians)):
@@ -103,7 +135,7 @@ def compare_pair(base_path, head_path):
         "scalars": scalars,
         "added": sorted(set(head_medians) - set(base_medians)),
         "removed": sorted(set(base_medians) - set(head_medians)),
-    }
+    }, None
 
 
 def print_pair(pair):
@@ -135,13 +167,23 @@ def main():
         ap.error("files must come in BASE HEAD pairs")
 
     pairs = []
+    skipped = []
     for i in range(0, len(args.files), 2):
-        pair = compare_pair(args.files[i], args.files[i + 1])
-        print_pair(pair)
-        pairs.append(pair)
+        pair, error = compare_pair(args.files[i], args.files[i + 1])
+        if pair is not None:
+            print_pair(pair)
+            pairs.append(pair)
+        elif error.startswith("skip:"):
+            print(f"== {args.files[i]} -> {args.files[i + 1]} ==")
+            print(f"  {error}")
+            skipped.append({"base": args.files[i], "head": args.files[i + 1],
+                            "reason": error})
+        else:
+            print(f"compare_bench.py: {error}", file=sys.stderr)
+            return 2
 
     with open(args.output, "w") as f:
-        json.dump({"pairs": pairs}, f, indent=1)
+        json.dump({"pairs": pairs, "skipped": skipped}, f, indent=1)
         f.write("\n")
     print(f"wrote {args.output}")
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint wall (DESIGN.md §9) — run from anywhere, no deps.
 
-Three checks, each encoding a convention the compiler cannot see:
+Five checks, each encoding a convention the compiler cannot see:
 
 1. obs lane ranges: every fixed trace lane constant in src/obs/obs.hpp
    (kDriverTid, kRecoveryTid, ...) must sit at or above
@@ -18,6 +18,20 @@ Three checks, each encoding a convention the compiler cannot see:
 3. no naked new/delete under src/: ownership goes through containers and
    smart pointers. The one deliberate exception is the type-erasure
    small-buffer machinery in src/sim/callback.hpp.
+
+4. thread-safety wall, primitives: no raw std::mutex /
+   std::condition_variable / std::lock_guard / ... outside src/sync/.
+   Everything locks through the annotated trail::sync wrappers so the
+   Clang Thread Safety Analysis (-Wthread-safety, CI) sees every
+   acquire/release site (DESIGN.md §11).
+
+5. thread-safety wall, coverage: inside any class that declares a
+   sync::Mutex member, every mutable data member must carry
+   TRAIL_GUARDED_BY/TRAIL_PT_GUARDED_BY. Exempt: std::atomic members,
+   const/static/constexpr members, sync primitives themselves, and
+   members annotated with an `// unguarded: <reason>` comment (the
+   reviewed escape hatch — e.g. pointers set once in the constructor
+   whose pointees are internally atomic).
 
 Exit status 0 = clean, 1 = findings (printed one per line).
 """
@@ -173,10 +187,135 @@ def check_naked_new_delete() -> None:
                 fail(path, lineno, "naked `delete` — ownership must be RAII-managed")
 
 
+# ------------------------------------------------------------ checks 4+5
+
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+CLASS_HEADER = re.compile(r"\b(?:class|struct)\b")
+MUTEX_MEMBER = re.compile(r"\bsync::Mutex\s+\w+_\s*;")
+# A data-member declaration: type, name ending in `_`, optional array /
+# annotation / initializer. Function declarations never match (their
+# parameter list puts `(`/`)` between the type and the `;`).
+MEMBER_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?[A-Za-z_][\w:<>,\s\*&]*[\s\*&](\w+_)\s*"
+    r"(?:\[[^\]]*\])?\s*(?:TRAIL(?:_PT)?_GUARDED_BY\([^;]*\))?\s*"
+    r"(?:\{[^;]*\}|=[^;]*)?;"
+)
+
+
+def strip_block_comments(lines: list[str]) -> list[str]:
+    """Per-line comment/string stripping with /* */ state carried across
+    lines — the same treatment check 3 applies inline."""
+    out = []
+    in_block = False
+    for raw in lines:
+        line = raw
+        if in_block:
+            if "*/" not in line:
+                out.append("")
+                continue
+            line = line.split("*/", 1)[1]
+            in_block = False
+        while "/*" in line:
+            head, _, tail = line.partition("/*")
+            if "*/" in tail:
+                line = head + tail.split("*/", 1)[1]
+            else:
+                line = head
+                in_block = True
+        out.append(strip_comments(line))
+    return out
+
+
+def check_raw_sync_primitives() -> None:
+    for path in source_files():
+        rel = str(path.relative_to(SRC))
+        if rel.startswith("sync/"):
+            continue  # the one place allowed to touch the raw primitives
+        for lineno, line in enumerate(strip_block_comments(path.read_text().splitlines()), 1):
+            m = RAW_SYNC.search(line)
+            if m:
+                fail(
+                    path,
+                    lineno,
+                    f"raw std::{m.group(1)} outside src/sync/ — lock through "
+                    f"trail::sync (Mutex/MutexLock/CondVar) so the thread-safety "
+                    f"analysis sees it",
+                )
+
+
+def class_bodies(stripped: list[str]):
+    """Yield (start_lineno, member_lines) per class/struct body, where
+    member_lines are the (lineno, text) pairs at exactly that body's
+    depth — nested function/class bodies are excluded."""
+    open_stack: list[list] = []  # ['class'|'other', start_lineno, members]
+    header = ""
+    for lineno, line in enumerate(stripped, 1):
+        encl = open_stack[-1] if open_stack else None
+        if encl is not None and encl[0] == "class":
+            encl[2].append((lineno, line))
+        for ch in line:
+            if ch == "{":
+                kind = "class" if CLASS_HEADER.search(header) and "=" not in header else "other"
+                open_stack.append([kind, lineno, []])
+                header = ""
+            elif ch == "}":
+                if open_stack:
+                    entry = open_stack.pop()
+                    if entry[0] == "class":
+                        yield entry[1], entry[2]
+            elif ch == ";":
+                header = ""
+            else:
+                header += ch
+
+
+def member_exempt(line: str, raw: str) -> bool:
+    if "TRAIL_GUARDED_BY" in line or "TRAIL_PT_GUARDED_BY" in line:
+        return True
+    if re.match(r"^\s*(static|constexpr|const)\b", line):
+        return True  # immutable after construction: no lock needed
+    if "std::atomic" in line:
+        return True  # lock-free by design (metrics hot path)
+    if "sync::Mutex" in line or "sync::CondVar" in line:
+        return True  # the capability itself / its wait queues
+    return "unguarded:" in raw  # reviewed escape hatch, reason required
+
+
+def check_guarded_members() -> None:
+    for path in source_files():
+        rel = str(path.relative_to(SRC))
+        if rel.startswith("sync/"):
+            continue
+        raw_lines = path.read_text().splitlines()
+        stripped = strip_block_comments(raw_lines)
+        for _, members in class_bodies(stripped):
+            if not any(MUTEX_MEMBER.search(line) for _, line in members):
+                continue  # lock-free or single-threaded class: not our business
+            for lineno, line in members:
+                m = MEMBER_DECL.match(line)
+                if m is None:
+                    continue
+                if not member_exempt(line, raw_lines[lineno - 1]):
+                    fail(
+                        path,
+                        lineno,
+                        f"member '{m.group(1)}' of a sync::Mutex-bearing class "
+                        f"lacks TRAIL_GUARDED_BY (annotate it, or mark the line "
+                        f"`// unguarded: <reason>`)",
+                    )
+
+
 def main() -> int:
     check_obs_lanes()
     check_metric_registry()
     check_naked_new_delete()
+    check_raw_sync_primitives()
+    check_guarded_members()
     if findings:
         print(f"lint.py: {len(findings)} finding(s)")
         for f in findings:

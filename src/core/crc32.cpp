@@ -209,7 +209,11 @@ struct Dispatch {
 Dispatch resolve_dispatch() {
   const bool hw = hw_available();
   CrcImpl want = hw ? CrcImpl::kHw : CrcImpl::kSliced;
-  if (const char* env = std::getenv("TRAIL_CRC_IMPL"); env != nullptr) {
+  // Runs once, under dispatch()'s magic-static guard. The race getenv
+  // is unsafe against is a concurrent setenv, which nothing in the tree
+  // (or its tests/benches) ever calls after startup.
+  if (const char* env = std::getenv("TRAIL_CRC_IMPL");  // NOLINT(concurrency-mt-unsafe)
+      env != nullptr) {
     if (std::strcmp(env, "table") == 0) want = CrcImpl::kTable;
     if (std::strcmp(env, "sliced") == 0) want = CrcImpl::kSliced;
     if (std::strcmp(env, "hw") == 0) want = hw ? CrcImpl::kHw : CrcImpl::kSliced;

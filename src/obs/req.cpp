@@ -75,12 +75,14 @@ std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& off)
 FlightRecorder::FlightRecorder(std::size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {}
 
 void FlightRecorder::set_capacity(std::size_t capacity) {
+  sync::MutexLock lock(mu_);
   cap_ = capacity == 0 ? 1 : capacity;
   while (count_ > cap_) drop_oldest();
   compact();
 }
 
 void FlightRecorder::push(const FlightRecord& r) {
+  sync::MutexLock lock(mu_);
   while (count_ >= cap_) drop_oldest();
 
   std::uint8_t mask = 0;
@@ -159,6 +161,7 @@ void FlightRecorder::compact() {
 }
 
 FlightRecord FlightRecorder::at(std::size_t i) const {
+  sync::MutexLock lock(mu_);
   assert(i < count_);
   std::size_t off = head_off_;
   FieldState state = head_state_;
@@ -168,6 +171,7 @@ FlightRecord FlightRecorder::at(std::size_t i) const {
 }
 
 void FlightRecorder::clear() {
+  sync::MutexLock lock(mu_);
   buf_.clear();
   head_off_ = 0;
   count_ = 0;
@@ -177,6 +181,7 @@ void FlightRecorder::clear() {
 }
 
 std::string FlightRecorder::dump_tail(std::size_t n) const {
+  sync::MutexLock lock(mu_);
   // Plain integers only — the dump is diffable across identical seeds.
   if (n > count_) n = count_;
   std::string out = "flight: " + std::to_string(count_) + " records retained, " +

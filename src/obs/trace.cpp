@@ -54,6 +54,7 @@ EventTracer::EventTracer(const sim::Simulator& sim, std::size_t capacity)
     : sim_(&sim), cap_events_(capacity == 0 ? 1 : capacity) {}
 
 void EventTracer::set_track_name(std::uint32_t tid, std::string name) {
+  sync::MutexLock lock(mu_);
   track_names_[tid] = std::move(name);
 }
 
@@ -147,6 +148,7 @@ void EventTracer::compact() {
 }
 
 TraceEvent EventTracer::at(std::size_t i) const {
+  sync::MutexLock lock(mu_);
   if (i >= count_) throw std::out_of_range("EventTracer::at");
   if (!cursor_valid_ || i < cursor_index_) {
     cursor_index_ = 0;
@@ -164,7 +166,7 @@ TraceEvent EventTracer::at(std::size_t i) const {
 
 void EventTracer::complete(const char* name, const char* cat, sim::TimePoint begin,
                            sim::Duration dur, std::uint32_t tid) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -172,23 +174,25 @@ void EventTracer::complete(const char* name, const char* cat, sim::TimePoint beg
   e.dur_ns = dur.ns();
   e.tid = tid;
   e.ph = TracePhase::kComplete;
+  sync::MutexLock lock(mu_);
   push(e);
 }
 
 void EventTracer::instant(const char* name, const char* cat, std::uint32_t tid) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
   e.ts_ns = sim_->now().ns();
   e.tid = tid;
   e.ph = TracePhase::kInstant;
+  sync::MutexLock lock(mu_);
   push(e);
 }
 
 void EventTracer::instant_value(const char* name, const char* cat, std::int64_t value,
                                 std::uint32_t tid) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -197,12 +201,13 @@ void EventTracer::instant_value(const char* name, const char* cat, std::int64_t 
   e.has_value = true;
   e.tid = tid;
   e.ph = TracePhase::kInstant;
+  sync::MutexLock lock(mu_);
   push(e);
 }
 
 void EventTracer::counter(const char* name, const char* cat, std::int64_t value,
                           std::uint32_t tid) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -211,10 +216,12 @@ void EventTracer::counter(const char* name, const char* cat, std::int64_t value,
   e.has_value = true;
   e.tid = tid;
   e.ph = TracePhase::kCounter;
+  sync::MutexLock lock(mu_);
   push(e);
 }
 
 void EventTracer::clear() {
+  sync::MutexLock lock(mu_);
   buf_.clear();
   buf_.shrink_to_fit();
   head_off_ = 0;
@@ -240,6 +247,7 @@ void append_us(std::string& out, std::int64_t ns) {
 }  // namespace
 
 std::string EventTracer::export_chrome_json() const {
+  sync::MutexLock lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[256];
