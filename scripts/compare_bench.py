@@ -3,7 +3,8 @@
 
 Usage:
     compare_bench.py BASE.json HEAD.json [BASE2.json HEAD2.json ...] \
-        [-o BENCH_SUMMARY.json] [--fail-above PCT]
+        [-o BENCH_SUMMARY.json] [--fail-above PCT] \
+        [--gate NAME ... --gate-fail-above PCT]
 
 Each BASE/HEAD pair is a before/after snapshot of the same bench binary
 (e.g. the previous commit's BENCH_engine.json against a fresh run). For
@@ -11,13 +12,17 @@ every benchmark name the script extracts one representative time — the
 `median` aggregate when repetitions ran, the sole iteration row otherwise
 — normalizes it to nanoseconds, and reports the HEAD-vs-BASE delta in
 percent (positive = slower). Scalar summary blocks the runner injects
-(tab1_batching, multilog, codec) are diffed too, by flattened key.
+(tab1_batching, multilog, codec, recovery) are diffed too, by flattened
+key.
 
 Output: a human table on stdout plus a machine-readable summary (default
 BENCH_SUMMARY.json) with per-name {base_ns, head_ns, delta_pct} rows and
 added/removed name lists. With --fail-above, exits 1 when any common
-benchmark regressed by more than PCT percent — a coarse CI tripwire; the
-authoritative per-metric floors live in the workflow itself.
+benchmark regressed by more than PCT percent — a coarse tripwire. With
+--gate (repeatable), exits 1 when one of the *named* benches regressed
+by more than --gate-fail-above percent (default 25) — the curated CI
+gate: hard on the benches that guard known regressions, immune to noise
+in the long tail.
 
 Degraded inputs never produce a traceback:
   * BASE absent / unreadable / invalid JSON / no benchmark rows — the
@@ -68,7 +73,8 @@ def load_medians(path):
             iterations[name] = value
     for name, value in iterations.items():
         medians.setdefault(name, value)
-    if not medians and not any(k in doc for k in ("tab1_batching", "multilog", "codec")):
+    if not medians and not any(
+            k in doc for k in ("tab1_batching", "multilog", "codec", "recovery")):
         return {}, {}, f"{path}: no benchmark rows or summary blocks"
     return medians, doc, None
 
@@ -84,7 +90,7 @@ def flatten_scalars(doc):
         elif isinstance(node, (int, float)) and not isinstance(node, bool):
             out[prefix] = float(node)
 
-    for key in ("tab1_batching", "multilog", "codec"):
+    for key in ("tab1_batching", "multilog", "codec", "recovery"):
         if key in doc:
             walk(key, doc[key])
     return out
@@ -162,6 +168,13 @@ def main():
     ap.add_argument("-o", "--output", default="BENCH_SUMMARY.json")
     ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
                     help="exit 1 if any common benchmark slowed by > PCT%%")
+    ap.add_argument("--gate", action="append", default=[], metavar="NAME",
+                    help="curated benchmark run_name to gate on (repeatable); "
+                         "exit 1 if it slowed by more than --gate-fail-above. "
+                         "A gated name absent from both sides is ignored — "
+                         "gates only fire on benches that actually ran.")
+    ap.add_argument("--gate-fail-above", type=float, default=25.0, metavar="PCT",
+                    help="regression threshold for --gate names (default 25)")
     args = ap.parse_args()
     if len(args.files) % 2 != 0:
         ap.error("files must come in BASE HEAD pairs")
@@ -195,6 +208,21 @@ def main():
             for name, d in worst:
                 print(f"REGRESSION: {name} slowed {d:+.1f}% "
                       f"(> {args.fail_above}%)", file=sys.stderr)
+            return 1
+
+    # Curated gate: a hard CI tripwire on named benches only, so noisy
+    # long-tail benchmarks can't flake the build while the ones that guard
+    # known regressions stay enforced. A pair skipped for an unusable BASE
+    # contributes nothing here — first runs of a new bench stay green.
+    if args.gate:
+        gated = [(r["name"], r["delta_pct"])
+                 for p in pairs for r in p["benchmarks"]
+                 if r["name"] in args.gate and r["delta_pct"] is not None
+                 and r["delta_pct"] > args.gate_fail_above]
+        if gated:
+            for name, d in gated:
+                print(f"GATED REGRESSION: {name} slowed {d:+.1f}% "
+                      f"(> {args.gate_fail_above}%)", file=sys.stderr)
             return 1
     return 0
 

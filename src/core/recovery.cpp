@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "core/crc32.hpp"
+#include "io/device_queue.hpp"
 
 namespace trail::core {
 
@@ -25,320 +29,918 @@ RecoveryManager::RecoveryManager(sim::Simulator& sim, std::vector<disk::DiskDevi
   }
 }
 
-void RecoveryManager::read_sync(std::uint8_t unit, disk::Lba lba, std::uint32_t count,
-                                std::span<std::byte> out) {
-  bool done = false;
-  units_.at(unit).device->read(lba, count, out, [&] { done = true; });
-  while (!done) {
-    if (!sim_.step()) throw std::runtime_error("RecoveryManager: simulation stalled");
-  }
-}
+// ---------------------------------------------------------------------------
+// Locate + rebuild pipeline.
+//
+// One state machine serves every pipeline_depth. Reads are submitted
+// through a per-unit C-LOOK DeviceQueue and at most `depth` are kept in
+// flight per unit, so the elevator can order whatever the window holds.
+// depth == 1 degenerates to one-command-at-a-time in exactly the
+// historical serial order (probes in grid order, bisect step by step,
+// per-record windowed rebuild reads, units one after another), which is
+// the equivalence baseline. depth >= 2 additionally:
+//   - keeps a sliding window of anchor probes in flight per unit and runs
+//     all units' locate machines concurrently;
+//   - streams the rebuild arc with whole-track reads: a cache miss fetches
+//     the demanded track plus up to depth-1 ring-backward neighbours
+//     (bounded by readahead_sectors), which C-LOOK serves as one ascending
+//     forward sweep — the fast direction — while the chain walk consumes
+//     parsed records out of the cache at zero cost.
+// Either way the locate *result* (per-unit youngest key) and the rebuilt
+// chain are identical: the anchor is defined as the first present probe in
+// grid order regardless of completion order, the bisect is deterministic,
+// and the walk consumes the same sectors.
+// ---------------------------------------------------------------------------
+struct RecoveryManager::Pipe : std::enable_shared_from_this<RecoveryManager::Pipe> {
+  explicit Pipe(RecoveryManager& mgr) : m(mgr) {}
 
-RecoveryManager::TrackKey RecoveryManager::scan_track(std::uint8_t unit,
-                                                      std::size_t usable_index,
-                                                      std::uint32_t target_epoch,
-                                                      RecoveryStats& stats) {
-  const Unit& u = units_.at(unit);
-  const disk::TrackId track = u.usable[usable_index];
-  const disk::Geometry& geom = u.device->geometry();
-  const std::uint32_t spt = geom.spt_of_track(track);
-  const disk::Lba base = geom.first_lba_of_track(track);
-  std::vector<std::byte> buf(static_cast<std::size_t>(spt) * disk::kSectorSize);
-  read_sync(unit, base, spt, buf);
-  ++stats.tracks_scanned;
-  if (obs_ != nullptr) {
-    obs_->metrics.counter(metric_prefix_ + "recovery.tracks_scanned").inc();
-    if (obs_->tracer.enabled())
-      obs_->tracer.instant_value("recovery.probe", "recovery", track, tid_);
-  }
-
-  TrackKey best;
-  for (std::uint32_t s = 0; s < spt; ++s) {
-    const std::span<const std::byte> sector(
-        buf.data() + static_cast<std::size_t>(s) * disk::kSectorSize, disk::kSectorSize);
-    const auto hdr = parse_record_header(sector);
-    if (!hdr || hdr->epoch > target_epoch) continue;
-    if (!best.present || record_key(*hdr) > best.key) {
-      best.present = true;
-      best.key = record_key(*hdr);
-      best.unit = unit;
-      best.header_lba = base + s;
-    }
-  }
-  return best;
-}
-
-RecoveryManager::TrackKey RecoveryManager::locate_sequential(std::uint8_t unit,
-                                                             std::uint32_t target_epoch,
-                                                             RecoveryStats& stats) {
-  TrackKey best;
-  for (std::size_t i = 0; i < units_.at(unit).usable.size(); ++i) {
-    const TrackKey k = scan_track(unit, i, target_epoch, stats);
-    if (k.present && (!best.present || k.key > best.key)) best = k;
-  }
-  return best;
-}
-
-RecoveryManager::TrackKey RecoveryManager::locate_binary(std::uint8_t unit,
-                                                         std::uint32_t target_epoch,
-                                                         RecoveryStats& stats,
-                                                         std::uint32_t anchor_probes) {
-  const std::size_t n = units_.at(unit).usable.size();
-
-  // Phase A: probe evenly-spread tracks for any record of the crashed
-  // epoch to anchor the search. FIFO allocation makes the stamped tracks
-  // one contiguous circular arc, so a probe grid finds it whenever the
-  // arc is at least n/probes tracks long.
-  std::size_t anchor_idx = n;  // sentinel: not found
-  TrackKey anchor_key;
-  const std::size_t probes = std::min<std::size_t>(anchor_probes == 0 ? 1 : anchor_probes, n);
-  for (std::size_t k = 0; k < probes; ++k) {
-    const std::size_t idx = k * n / probes;
-    const TrackKey key = scan_track(unit, idx, target_epoch, stats);
-    if (key.present) {
-      anchor_idx = idx;
-      anchor_key = key;
-      break;
-    }
-  }
-  if (anchor_idx == n) {
-    // Short or empty log: fall back to the exhaustive scan.
-    stats.sequential_fallback = true;
-    return locate_sequential(unit, target_epoch, stats);
-  }
-
-  // Phase B: binary-search the last rotated position j (clockwise offset
-  // from the anchor) whose track key is >= the anchor's.
-  auto key_at = [&](std::size_t j) {
-    return scan_track(unit, (anchor_idx + j) % n, target_epoch, stats);
-  };
-
-  std::size_t lo = 0;  // known-true rotated position
-  TrackKey lo_key = anchor_key;
-  std::size_t hi = n;  // exclusive upper bound
-  while (hi - lo > 1) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    TrackKey k = key_at(mid);
-    std::size_t j = mid;
-    if (!k.present) {
-      // `mid` was never stamped. The stamped region is one contiguous
-      // circular segment containing lo, so "stamped?" is a monotone
-      // predicate on (lo, mid]: bisect for the last stamped position.
-      std::size_t slo = lo;   // stamped
-      std::size_t shi = mid;  // gap
-      TrackKey slo_key;       // key at slo when slo > lo
-      while (shi - slo > 1) {
-        const std::size_t m = slo + (shi - slo) / 2;
-        const TrackKey km = key_at(m);
-        if (km.present) {
-          slo = m;
-          slo_key = km;
-        } else {
-          shi = m;
-        }
-      }
-      if (slo == lo) {
-        // Nothing stamped in (lo, mid]: the arc ends at lo.
-        hi = lo + 1;
-        continue;
-      }
-      j = slo;
-      k = slo_key;
-    }
-    if (k.key >= anchor_key.key) {
-      lo = j;
-      lo_key = k;
-    } else {
-      hi = j;
-    }
-  }
-  return lo_key;
-}
-
-RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
-                                              const Options& options) {
+  RecoveryManager& m;
+  std::uint32_t target_epoch = 0;
+  Options opts;
+  std::uint32_t depth = 1;
+  bool streaming = false;  // depth >= 2: whole-track rebuild reads
+  std::function<void(Outcome)> done;
   Outcome outcome;
-  RecoveryStats& stats = outcome.stats;
+  bool failed = false;
 
-  // ---- Phase 1: locate the youngest active write record ----
-  const sim::TimePoint locate_start = sim_.now();
-  obs::ScopedSpan locate_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.locate",
-                              "recovery", tid_);
-  TrackKey youngest;
-  for (std::uint8_t unit = 0; unit < units_.size(); ++unit) {
-    TrackKey candidate;
-    if (options.sequential_locate) {
-      stats.sequential_fallback = true;
-      candidate = locate_sequential(unit, target_epoch, stats);
-    } else {
-      candidate = locate_binary(unit, target_epoch, stats, options.anchor_probes);
-    }
-    if (candidate.present && (!youngest.present || candidate.key > youngest.key))
-      youngest = candidate;
-  }
-  stats.locate_time = sim_.now() - locate_start;
-  locate_span.finish();
-  if (!youngest.present) return outcome;  // nothing was logged in the crashed epoch
+  std::uint32_t inflight = 0;
+  std::uint32_t max_inflight = 0;
 
-  // ---- Phase 2: rebuild the pending-record set ----
-  const sim::TimePoint rebuild_start = sim_.now();
-  obs::ScopedSpan rebuild_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.rebuild",
-                               "recovery", tid_);
+  // ---- phase 1 state ----
+  sim::TimePoint locate_start{};
+  std::optional<obs::ScopedSpan> locate_span;
+  struct ProbeResult {
+    TrackKey key;
+    std::size_t idx = 0;
+  };
+  struct Loc {
+    enum class Stage { kProbe, kOuter, kGap, kSeq, kDone };
+    Stage stage = Stage::kProbe;
+    std::size_t n = 0;       // usable ring size
+    std::size_t probes = 0;  // anchor grid size
+    std::size_t next_probe = 0;
+    std::size_t probe_done = 0;  // probes [0, probe_done) completed
+    std::map<std::size_t, ProbeResult> probe_results;
+    bool anchored = false;
+    std::size_t anchor_idx = 0;
+    TrackKey anchor_key;
+    std::uint32_t unit_inflight = 0;
+    // rotated binary search (outer) + gap bisect, as in the serial code
+    std::size_t lo = 0, hi = 0, mid = 0;
+    TrackKey lo_key;
+    std::size_t slo = 0, shi = 0;
+    TrackKey slo_key;
+    // sequential scan (ablation / fallback)
+    std::size_t seq_next = 0;
+    TrackKey result;
+  };
+  std::vector<Loc> loc;
+  std::size_t loc_units_done = 0;
 
-  std::uint8_t unit = youngest.unit;
-  disk::Lba lba = youngest.header_lba;
+  // ---- phase 2 state ----
+  sim::TimePoint rebuild_start{};
+  std::optional<obs::ScopedSpan> rebuild_span;
+  bool walk_done = false;
+  std::uint8_t unit = 0;
+  disk::Lba lba = 0;
   bool have_bound = false;
   std::uint32_t bound_ptr = 0;
   std::uint64_t prev_key = 0;
   std::vector<RecoveredRecord> chain;  // youngest -> oldest
 
-  for (;;) {
-    const disk::Geometry& geom = units_.at(unit).device->geometry();
-    // One windowed read fetches the header plus (optimistically) the whole
-    // payload, so each chain step usually costs a single disk access. The
-    // window is clamped to the record's track (payload never crosses it).
-    const disk::TrackId lba_track = geom.track_of_lba(lba);
-    const disk::Lba track_end = geom.first_lba_of_track(lba_track) + geom.spt_of_track(lba_track);
-    const auto window =
-        static_cast<std::uint32_t>(std::min<disk::Lba>(1 + kMaxTrailBatch, track_end - lba));
-    std::vector<std::byte> window_buf(static_cast<std::size_t>(window) * disk::kSectorSize);
-    read_sync(unit, lba, window, window_buf);
-    const std::span<const std::byte> header_sector(window_buf.data(), disk::kSectorSize);
-    auto hdr = parse_record_header(header_sector);
-    if (!hdr || hdr->epoch > target_epoch)
-      throw std::runtime_error("recovery: prev_sect chain reached an invalid record header");
-    if (!chain.empty() || stats.records_dropped_torn > 0) {
-      if (record_key(*hdr) >= prev_key)
-        throw std::runtime_error("recovery: record keys not decreasing along chain");
-    }
-    prev_key = record_key(*hdr);
+  static constexpr disk::TrackId kNoTrack = static_cast<disk::TrackId>(-1);
+  struct TrackBuf {
+    bool ready = false;
+    disk::Lba base = 0;
+    std::uint32_t spt = 0;
+    std::shared_ptr<std::vector<std::byte>> data;
+  };
+  std::map<std::pair<std::uint8_t, disk::TrackId>, TrackBuf> cache;
+  std::vector<disk::TrackId> walk_track;  // per unit: track the walk last consumed
+  std::uint64_t tracks_streamed = 0;      // tracks fetched by the rebuild streamer
 
-    // Payload sectors follow the header contiguously. The CRC is folded
-    // into assembly with crc32_combine: each piece (window slice, spill
-    // read) is checksummed as it lands, so the image is never re-walked
-    // for a separate payload_image_crc pass.
-    std::vector<std::byte> payload(static_cast<std::size_t>(hdr->batch_size) * disk::kSectorSize);
-    std::uint32_t payload_crc = 0;
-    if (1 + hdr->batch_size <= window) {
-      std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize, payload.size());
-      payload_crc = crc32(payload);
+  [[noreturn]] void fail(const char* msg) {
+    failed = true;
+    throw std::runtime_error(msg);
+  }
+
+  // ---- read submission ----
+  void issue_read(std::uint8_t u, disk::Lba rlba, std::uint32_t count, std::span<std::byte> out,
+                  std::shared_ptr<std::vector<std::byte>> keep, std::function<void()> cb) {
+    ++inflight;
+    if (inflight > max_inflight) {
+      max_inflight = inflight;
+      if (m.obs_ != nullptr)
+        m.obs_->metrics.gauge(m.metric_prefix_ + "recovery.inflight_reads").set(max_inflight);
+    }
+    io::PendingIo io;
+    io.is_write = false;
+    io.lba = rlba;
+    io.count = count;
+    io.out = out;
+    // weak: the queues live for the manager's lifetime, so a shared self
+    // here would pin the Pipe forever when a corrupt chain aborts the
+    // walk with entries still queued.
+    io.on_complete = [weak = weak_from_this(), keep = std::move(keep),
+                      cb = std::move(cb)]() mutable {
+      const auto self = weak.lock();
+      if (!self) return;
+      --self->inflight;
+      if (self->failed) return;
+      cb();
+    };
+    m.read_queues_[u]->submit(std::move(io));
+  }
+
+  void note_scan(disk::TrackId track) {
+    ++outcome.stats.tracks_scanned;
+    if (m.obs_ != nullptr) {
+      m.obs_->metrics.counter(m.metric_prefix_ + "recovery.tracks_scanned").inc();
+      if (m.obs_->tracer.enabled())
+        m.obs_->tracer.instant_value("recovery.probe", "recovery", track, m.tid_);
+    }
+  }
+
+  /// Read + parse one full track; hand the newest in-epoch key to `cb`.
+  void scan_async(std::uint8_t u, std::size_t usable_index, std::function<void(TrackKey)> cb) {
+    const Unit& un = m.units_[u];
+    const disk::TrackId track = un.usable[usable_index];
+    const disk::Geometry& geom = un.device->geometry();
+    const std::uint32_t spt = geom.spt_of_track(track);
+    const disk::Lba base = geom.first_lba_of_track(track);
+    auto buf =
+        std::make_shared<std::vector<std::byte>>(static_cast<std::size_t>(spt) * disk::kSectorSize);
+    ++loc[u].unit_inflight;
+    std::span<std::byte> out(*buf);
+    issue_read(u, base, spt, out, buf,
+               [this, u, track, base, spt, buf, cb = std::move(cb)] {
+                 --loc[u].unit_inflight;
+                 note_scan(track);
+                 TrackKey best;
+                 for (std::uint32_t s = 0; s < spt; ++s) {
+                   const std::span<const std::byte> sector(
+                       buf->data() + static_cast<std::size_t>(s) * disk::kSectorSize,
+                       disk::kSectorSize);
+                   const auto hdr = parse_record_header(sector);
+                   if (!hdr || hdr->epoch > target_epoch) continue;
+                   if (!best.present || record_key(*hdr) > best.key) {
+                     best.present = true;
+                     best.key = record_key(*hdr);
+                     best.unit = u;
+                     best.header_lba = base + s;
+                   }
+                 }
+                 cb(best);
+               });
+  }
+
+  // ---- phase 1: locate ----
+  void start_locate() {
+    locate_start = m.sim_.now();
+    locate_span.emplace(m.obs_ != nullptr ? &m.obs_->tracer : nullptr, "recovery.locate",
+                        "recovery", m.tid_);
+    loc.resize(m.units_.size());
+    for (std::size_t u = 0; u < loc.size(); ++u) {
+      Loc& L = loc[u];
+      L.n = m.units_[u].usable.size();
+      if (opts.sequential_locate) {
+        outcome.stats.sequential_fallback = true;
+        L.stage = Loc::Stage::kSeq;
+      } else {
+        L.probes =
+            std::min<std::size_t>(opts.anchor_probes == 0 ? 1 : opts.anchor_probes, L.n);
+      }
+    }
+    // depth 1 walks the units one after another (the serial order); the
+    // pipeline runs every unit's machine concurrently.
+    if (depth == 1) {
+      pump_locate(0);
     } else {
-      const std::size_t head_bytes = static_cast<std::size_t>(window - 1) * disk::kSectorSize;
-      std::memcpy(payload.data(), window_buf.data() + disk::kSectorSize, head_bytes);
-      const std::span<std::byte> tail = std::span<std::byte>(payload).subspan(head_bytes);
-      read_sync(unit, lba + window, hdr->batch_size - (window - 1), tail);
-      payload_crc = crc32_combine(crc32(std::span<const std::byte>(payload.data(), head_bytes)),
-                                  crc32(tail), tail.size());
+      for (std::size_t u = 0; u < loc.size(); ++u) pump_locate(static_cast<std::uint8_t>(u));
     }
-    const bool intact = payload_crc == hdr->payload_crc;
+  }
 
+  void pump_locate(std::uint8_t u) {
+    Loc& L = loc[u];
+    switch (L.stage) {
+      case Loc::Stage::kProbe:
+        while (!L.anchored && L.next_probe < L.probes && L.unit_inflight < depth) {
+          const std::size_t k = L.next_probe++;
+          const std::size_t idx = k * L.n / L.probes;
+          scan_async(u, idx, [this, u, k, idx](TrackKey key) { on_probe(u, k, idx, key); });
+        }
+        if (L.probes == 0 && !L.anchored) {
+          // Degenerate ring: nothing to probe.
+          outcome.stats.sequential_fallback = true;
+          L.stage = Loc::Stage::kSeq;
+          pump_locate(u);
+        }
+        break;
+      case Loc::Stage::kSeq:
+        while (L.seq_next < L.n && L.unit_inflight < depth) {
+          scan_async(u, L.seq_next++, [this, u](TrackKey key) { on_seq(u, key); });
+        }
+        if (L.n == 0) finish_unit(u, TrackKey{});
+        break;
+      case Loc::Stage::kOuter:
+      case Loc::Stage::kGap:
+      case Loc::Stage::kDone:
+        break;  // completion-driven
+    }
+  }
+
+  void on_probe(std::uint8_t u, std::size_t k, std::size_t idx, const TrackKey& key) {
+    Loc& L = loc[u];
+    if (L.anchored) {
+      // A window straggler from beyond the anchor: its scan was already
+      // counted; record the waste and keep draining.
+      if (m.obs_ != nullptr)
+        m.obs_->metrics.counter(m.metric_prefix_ + "recovery.probe_overshoot").inc();
+      if (L.unit_inflight == 0) begin_bisect(u);
+      return;
+    }
+    L.probe_results[k] = ProbeResult{key, idx};
+    // The anchor is the first present probe in *grid* order, independent
+    // of completion order: advance only over a contiguous completed prefix.
+    while (true) {
+      auto it = L.probe_results.find(L.probe_done);
+      if (it == L.probe_results.end()) break;
+      if (!L.anchored && it->second.key.present) {
+        L.anchored = true;
+        L.anchor_idx = it->second.idx;
+        L.anchor_key = it->second.key;
+      }
+      L.probe_results.erase(it);
+      ++L.probe_done;
+    }
+    if (L.anchored) {
+      if (L.unit_inflight == 0) begin_bisect(u);
+      return;
+    }
+    if (L.probe_done == L.probes) {
+      // Short or empty log: fall back to the exhaustive scan.
+      outcome.stats.sequential_fallback = true;
+      L.stage = Loc::Stage::kSeq;
+    }
+    pump_locate(u);
+  }
+
+  void begin_bisect(std::uint8_t u) {
+    Loc& L = loc[u];
+    L.stage = Loc::Stage::kOuter;
+    L.lo = 0;
+    L.lo_key = L.anchor_key;
+    L.hi = L.n;
+    step_outer(u);
+  }
+
+  // Rotated binary search for the last clockwise offset from the anchor
+  // whose track key is >= the anchor's — step for step the serial
+  // locate_binary, driven by completions.
+  void step_outer(std::uint8_t u) {
+    Loc& L = loc[u];
+    if (L.hi - L.lo <= 1) {
+      finish_unit(u, L.lo_key);
+      return;
+    }
+    L.mid = L.lo + (L.hi - L.lo) / 2;
+    scan_async(u, (L.anchor_idx + L.mid) % L.n,
+               [this, u](TrackKey key) { on_outer(u, key); });
+  }
+
+  void on_outer(std::uint8_t u, const TrackKey& key) {
+    Loc& L = loc[u];
+    if (!key.present) {
+      // `mid` was never stamped: bisect for the last stamped position in
+      // (lo, mid] — "stamped?" is monotone there (one circular arc).
+      L.stage = Loc::Stage::kGap;
+      L.slo = L.lo;
+      L.shi = L.mid;
+      L.slo_key = TrackKey{};
+      step_gap(u);
+      return;
+    }
+    apply_outer(u, L.mid, key);
+  }
+
+  void step_gap(std::uint8_t u) {
+    Loc& L = loc[u];
+    if (L.shi - L.slo > 1) {
+      const std::size_t mpos = L.slo + (L.shi - L.slo) / 2;
+      scan_async(u, (L.anchor_idx + mpos) % L.n,
+                 [this, u, mpos](TrackKey key) { on_gap(u, mpos, key); });
+      return;
+    }
+    L.stage = Loc::Stage::kOuter;
+    if (L.slo == L.lo) {
+      // Nothing stamped in (lo, mid]: the arc ends at lo.
+      L.hi = L.lo + 1;
+      step_outer(u);
+      return;
+    }
+    apply_outer(u, L.slo, L.slo_key);
+  }
+
+  void on_gap(std::uint8_t u, std::size_t mpos, const TrackKey& key) {
+    Loc& L = loc[u];
+    if (key.present) {
+      L.slo = mpos;
+      L.slo_key = key;
+    } else {
+      L.shi = mpos;
+    }
+    step_gap(u);
+  }
+
+  void apply_outer(std::uint8_t u, std::size_t j, const TrackKey& key) {
+    Loc& L = loc[u];
+    if (key.key >= L.anchor_key.key) {
+      L.lo = j;
+      L.lo_key = key;
+    } else {
+      L.hi = j;
+    }
+    step_outer(u);
+  }
+
+  void on_seq(std::uint8_t u, const TrackKey& key) {
+    Loc& L = loc[u];
+    if (key.present && (!L.result.present || key.key > L.result.key)) L.result = key;
+    if (L.seq_next == L.n && L.unit_inflight == 0) {
+      finish_unit(u, L.result);
+      return;
+    }
+    pump_locate(u);
+  }
+
+  void finish_unit(std::uint8_t u, const TrackKey& key) {
+    Loc& L = loc[u];
+    L.stage = Loc::Stage::kDone;
+    L.result = key;
+    ++loc_units_done;
+    if (loc_units_done == loc.size()) {
+      finish_locate();
+    } else if (depth == 1) {
+      // Serial order: units complete 0, 1, 2, ... — start the next one.
+      pump_locate(static_cast<std::uint8_t>(loc_units_done));
+    }
+  }
+
+  void finish_locate() {
+    outcome.stats.locate_time = m.sim_.now() - locate_start;
+    locate_span->finish();
+    TrackKey youngest;
+    for (const Loc& L : loc)
+      if (L.result.present && (!youngest.present || L.result.key > youngest.key))
+        youngest = L.result;
+    if (!youngest.present) {
+      complete();  // nothing was logged in the crashed epoch
+      return;
+    }
+    start_rebuild(youngest);
+  }
+
+  // ---- phase 2: rebuild ----
+  void start_rebuild(const TrackKey& youngest) {
+    rebuild_start = m.sim_.now();
+    rebuild_span.emplace(m.obs_ != nullptr ? &m.obs_->tracer : nullptr, "recovery.rebuild",
+                         "recovery", m.tid_);
+    unit = youngest.unit;
+    lba = youngest.header_lba;
+    walk_track.assign(m.units_.size(), kNoTrack);
+    if (streaming)
+      resume_streaming();
+    else
+      step_windowed();
+  }
+
+  /// Shared chain-walk step: validate + classify one record, push it when
+  /// intact, and advance (unit, lba) or mark the walk done. Exactly the
+  /// serial per-record logic.
+  void step_record(const RecordHeader& hdr, std::vector<std::byte> payload,
+                   std::uint32_t payload_crc) {
+    RecoveryStats& stats = outcome.stats;
+    if (!chain.empty() || stats.records_dropped_torn > 0) {
+      if (record_key(hdr) >= prev_key) fail("recovery: record keys not decreasing along chain");
+    }
+    prev_key = record_key(hdr);
+    const bool intact = payload_crc == hdr.payload_crc;
     if (!intact) {
       // Only the final (unacknowledged) physical write can be torn; by
       // then we must not have collected any intact newer record.
-      if (!chain.empty())
-        throw std::runtime_error("recovery: torn record below an intact one");
+      if (!chain.empty()) fail("recovery: torn record below an intact one");
       ++stats.records_dropped_torn;
       // Keys strictly decrease along the walk, so the last torn record
       // seen carries the oldest torn key.
-      stats.oldest_torn_key = record_key(*hdr);
+      stats.oldest_torn_key = record_key(hdr);
     } else {
       if (!have_bound) {
         // The newest *intact* record's log_head bounds the backward walk.
         have_bound = true;
-        bound_ptr = hdr->log_head;
+        bound_ptr = hdr.log_head;
       }
       RecoveredRecord rec;
       rec.log_unit = unit;
       rec.header_lba = lba;
-      rec.track = geom.track_of_lba(lba);
+      rec.track = m.units_.at(unit).device->geometry().track_of_lba(lba);
       // Restore the original first byte of every payload sector.
-      for (std::uint32_t i = 0; i < hdr->batch_size; ++i)
+      for (std::uint32_t i = 0; i < hdr.batch_size; ++i)
         unescape_payload_sector(
             std::span<std::byte>(payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
                                  disk::kSectorSize),
-            hdr->entries[i].first_data_byte);
+            hdr.entries[i].first_data_byte);
       rec.payload = std::move(payload);
-      rec.header = std::move(*hdr);
+      rec.header = hdr;
       chain.push_back(std::move(rec));
-      hdr.reset();
     }
-
-    const RecordHeader& cur =
-        chain.empty() ? *parse_record_header(header_sector) : chain.back().header;
     const std::uint32_t self_ptr = encode_log_ptr(unit, static_cast<std::uint32_t>(lba));
-    if (have_bound && self_ptr == bound_ptr) break;  // reached the oldest live record
-    if (cur.prev_sect == kNoPrevRecord) break;       // first record of the epoch
-    unit = log_ptr_unit(cur.prev_sect);
-    if (unit >= units_.size())
-      throw std::runtime_error("recovery: prev_sect names an unknown log disk");
-    lba = log_ptr_lba(cur.prev_sect);
+    if ((have_bound && self_ptr == bound_ptr)    // reached the oldest live record
+        || hdr.prev_sect == kNoPrevRecord) {     // first record of the epoch
+      walk_done = true;
+      return;
+    }
+    const std::uint8_t next_unit = log_ptr_unit(hdr.prev_sect);
+    if (next_unit >= m.units_.size()) fail("recovery: prev_sect names an unknown log disk");
+    unit = next_unit;
+    lba = log_ptr_lba(hdr.prev_sect);
   }
 
-  std::reverse(chain.begin(), chain.end());  // ascending key
-  stats.records_found = static_cast<std::uint32_t>(chain.size());
-  stats.rebuild_time = sim_.now() - rebuild_start;
-  rebuild_span.finish();
-  outcome.pending = std::move(chain);
-  if (obs_ != nullptr) {
-    obs_->metrics.counter(metric_prefix_ + "recovery.records_found").inc(stats.records_found);
-    // Leave a flight-recorder trail of what was rebuilt: one summary per
-    // recovered record (id = sequence, shard = log unit), flagged
-    // kFlagRecovered so a post-recovery dump separates replay from new
-    // traffic.
-    for (const RecoveredRecord& rec : outcome.pending) {
-      obs::FlightRecord fr;
-      fr.id = rec.header.sequence_id;
-      fr.shard = rec.log_unit;
-      fr.sectors = rec.header.batch_size;
-      fr.flags = obs::FlightRecord::kFlagRecovered;
-      fr.submit_ns = sim_.now().ns();
-      obs_->flight.push(fr);
+  /// Validate a chain header (both rebuild modes share the error).
+  RecordHeader parse_chain_header(std::span<const std::byte> sector) {
+    const auto hdr = parse_record_header(sector);
+    if (!hdr || hdr->epoch > target_epoch)
+      fail("recovery: prev_sect chain reached an invalid record header");
+    return *hdr;
+  }
+
+  // depth == 1: the historical per-record windowed read (header plus an
+  // optimistic payload window, clamped to the record's track, with a
+  // defensive tail read when the payload overflows the window).
+  void step_windowed() {
+    const disk::Geometry& geom = m.units_.at(unit).device->geometry();
+    const disk::TrackId lba_track = geom.track_of_lba(lba);
+    const disk::Lba track_end =
+        geom.first_lba_of_track(lba_track) + geom.spt_of_track(lba_track);
+    const auto window =
+        static_cast<std::uint32_t>(std::min<disk::Lba>(1 + kMaxTrailBatch, track_end - lba));
+    auto wbuf = std::make_shared<std::vector<std::byte>>(
+        static_cast<std::size_t>(window) * disk::kSectorSize);
+    std::span<std::byte> out(*wbuf);
+    issue_read(unit, lba, window, out, wbuf, [this, wbuf, window] {
+      const RecordHeader hdr =
+          parse_chain_header(std::span<const std::byte>(wbuf->data(), disk::kSectorSize));
+      auto payload = std::make_shared<std::vector<std::byte>>(
+          static_cast<std::size_t>(hdr.batch_size) * disk::kSectorSize);
+      if (1 + hdr.batch_size <= window) {
+        std::memcpy(payload->data(), wbuf->data() + disk::kSectorSize, payload->size());
+        const std::uint32_t crc = crc32(*payload);
+        step_record(hdr, std::move(*payload), crc);
+        advance_windowed();
+        return;
+      }
+      const std::size_t head_bytes = static_cast<std::size_t>(window - 1) * disk::kSectorSize;
+      std::memcpy(payload->data(), wbuf->data() + disk::kSectorSize, head_bytes);
+      const std::span<std::byte> tail = std::span<std::byte>(*payload).subspan(head_bytes);
+      issue_read(unit, lba + window, hdr.batch_size - (window - 1), tail, payload,
+                 [this, hdr, payload, head_bytes] {
+                   const std::span<std::byte> tail2 =
+                       std::span<std::byte>(*payload).subspan(head_bytes);
+                   const std::uint32_t crc = crc32_combine(
+                       crc32(std::span<const std::byte>(payload->data(), head_bytes)),
+                       crc32(tail2), tail2.size());
+                   step_record(hdr, std::move(*payload), crc);
+                   advance_windowed();
+                 });
+    });
+  }
+
+  void advance_windowed() {
+    if (walk_done)
+      finish_rebuild();
+    else
+      step_windowed();
+  }
+
+  // depth >= 2: whole-track streaming. The walk consumes parsed records
+  // out of the track cache; a miss fetches the demanded track plus a
+  // ring-backward prefetch batch that C-LOOK serves as one ascending
+  // forward sweep.
+  void resume_streaming() {
+    for (;;) {
+      if (walk_done) {
+        if (inflight == 0) finish_rebuild();  // else: prefetch stragglers drain first
+        return;
+      }
+      const disk::Geometry& geom = m.units_.at(unit).device->geometry();
+      const disk::TrackId track = geom.track_of_lba(lba);
+      const auto key = std::make_pair(unit, track);
+      auto it = cache.find(key);
+      if (it == cache.end()) {
+        demand_fetch(unit, track);
+        return;
+      }
+      if (!it->second.ready) return;  // fetch in flight; its completion resumes us
+      if (lba < it->second.base || lba >= it->second.base + it->second.spt) {
+        // Outside this entry's coverage: demanded windows are anchored at
+        // the record that missed, and track reuse after freeing makes
+        // in-track placement non-monotone, so a revisit can land on
+        // either side. Refetch with a window anchored here.
+        cache.erase(it);
+        demand_fetch(unit, track);
+        return;
+      }
+      // The walk rarely returns to a consumed track (see above), so the
+      // previous one is almost always dead; evicting it bounds the cache.
+      if (walk_track[unit] != kNoTrack && walk_track[unit] != track)
+        cache.erase(std::make_pair(unit, walk_track[unit]));
+      walk_track[unit] = track;
+      const TrackBuf& tb = it->second;
+      const std::size_t off = static_cast<std::size_t>(lba - tb.base) * disk::kSectorSize;
+      const RecordHeader hdr =
+          parse_chain_header(std::span<const std::byte>(tb.data->data() + off, disk::kSectorSize));
+      std::vector<std::byte> payload(static_cast<std::size_t>(hdr.batch_size) *
+                                     disk::kSectorSize);
+      if (lba + 1 + hdr.batch_size <= tb.base + tb.spt) {
+        std::memcpy(payload.data(), tb.data->data() + off + disk::kSectorSize, payload.size());
+        const std::uint32_t crc = crc32(payload);
+        step_record(hdr, std::move(payload), crc);
+        continue;
+      }
+      // Defensive spill (the writer never splits a payload across its
+      // track): stream the in-track head, read the overflow directly.
+      const auto in_track = static_cast<std::uint32_t>(tb.base + tb.spt - lba - 1);
+      const std::size_t head_bytes = static_cast<std::size_t>(in_track) * disk::kSectorSize;
+      std::memcpy(payload.data(), tb.data->data() + off + disk::kSectorSize, head_bytes);
+      auto pay = std::make_shared<std::vector<std::byte>>(std::move(payload));
+      const std::span<std::byte> tail = std::span<std::byte>(*pay).subspan(head_bytes);
+      issue_read(unit, tb.base + tb.spt, hdr.batch_size - in_track, tail, pay,
+                 [this, hdr, pay, head_bytes] {
+                   const std::span<std::byte> tail2 =
+                       std::span<std::byte>(*pay).subspan(head_bytes);
+                   const std::uint32_t crc = crc32_combine(
+                       crc32(std::span<const std::byte>(pay->data(), head_bytes)), crc32(tail2),
+                       tail2.size());
+                   step_record(hdr, std::move(*pay), crc);
+                   resume_streaming();
+                 });
+      return;
     }
   }
 
-  // ---- Phase 3: write pending records back to the data disks ----
-  if (options.write_back && !outcome.pending.empty()) write_back(outcome.pending, stats);
+  void demand_fetch(std::uint8_t u, disk::TrackId track) {
+    const Unit& un = m.units_[u];
+    const disk::Geometry& geom = un.device->geometry();
+    // Trail stamps records at rotationally chosen offsets, so there is no
+    // anchored range cheaper than the serial header window that is still
+    // guaranteed to hold the demanded record: read [record, record +
+    // payload bound), clamped to the track (a payload overflow spills).
+    const disk::Lba tbase = geom.first_lba_of_track(track);
+    const std::uint32_t tspt = geom.spt_of_track(track);
+    const auto window = static_cast<std::uint32_t>(
+        std::min<disk::Lba>(1 + kMaxTrailBatch, tbase + tspt - lba));
+    // Ring-backward prefetch of *full* older tracks pays one transfer-
+    // rate sweep to avoid a rotational wait per record — worth it only
+    // when tracks actually hold several records. Gate it on the observed
+    // density so a one-record-per-track log stays at the serial cost.
+    const std::uint64_t records_seen = chain.size() + outcome.stats.records_dropped_torn;
+    const bool prefetch = records_seen >= 2 * tracks_streamed;
+    {
+      TrackBuf tb;
+      tb.base = lba;
+      tb.spt = window;
+      tb.data = std::make_shared<std::vector<std::byte>>(static_cast<std::size_t>(window) *
+                                                         disk::kSectorSize);
+      const auto [it, inserted] = cache.emplace(std::make_pair(u, track), std::move(tb));
+      ++tracks_streamed;
+      TrackBuf& ref = it->second;
+      (void)inserted;  // caller erased any stale entry
+      std::span<std::byte> out(*ref.data);
+      issue_read(u, lba, window, out, ref.data, [this, u, track, window] {
+        if (m.obs_ != nullptr) {
+          m.obs_->metrics.counter(m.metric_prefix_ + "recovery.stream_commands").inc();
+          m.obs_->metrics.counter(m.metric_prefix_ + "recovery.stream_sectors").inc(window);
+        }
+        const auto ct = cache.find(std::make_pair(u, track));
+        if (ct != cache.end()) ct->second.ready = true;
+        resume_streaming();
+      });
+    }
+    if (!prefetch) return;
+    std::vector<disk::TrackId> batch;
+    std::uint32_t spent = window;
+    const std::uint32_t budget = opts.readahead_sectors;  // 0 = auto: depth tracks
+    const auto pos = std::lower_bound(un.usable.begin(), un.usable.end(), track);
+    if (pos == un.usable.end() || *pos != track) return;  // defensive
+    std::size_t back = static_cast<std::size_t>(pos - un.usable.begin());
+    const std::size_t n = un.usable.size();
+    std::uint32_t issued = 1;
+    while (issued < depth && issued < n) {
+      back = (back + n - 1) % n;
+      const disk::TrackId t = un.usable[back];
+      const std::uint32_t pspt = geom.spt_of_track(t);
+      if (budget != 0 && spent + pspt > budget) break;
+      if (cache.find(std::make_pair(u, t)) == cache.end()) {
+        batch.push_back(t);
+        spent += pspt;
+      }
+      ++issued;
+    }
+    // Ascending physical order, adjacent tracks fused into one command:
+    // the sweep crosses track boundaries on the skew and streams at
+    // transfer rate instead of re-reaching sector 0 on every track.
+    std::sort(batch.begin(), batch.end());
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      std::size_t j = i + 1;
+      while (j < batch.size() && batch[j] == batch[j - 1] + 1) ++j;
+      fetch_run(u, std::vector<disk::TrackId>(batch.begin() + static_cast<std::ptrdiff_t>(i),
+                                              batch.begin() + static_cast<std::ptrdiff_t>(j)));
+      i = j;
+    }
+  }
 
-  return outcome;
-}
+  /// One read command covering a physically contiguous ascending run of
+  /// full tracks; its completion slices the image into per-track cache
+  /// entries.
+  void fetch_run(std::uint8_t u, std::vector<disk::TrackId> tracks) {
+    const disk::Geometry& geom = m.units_[u].device->geometry();
+    std::uint32_t total = 0;
+    for (const disk::TrackId t : tracks) {
+      TrackBuf tb;
+      tb.base = geom.first_lba_of_track(t);
+      tb.spt = geom.spt_of_track(t);
+      tb.data = std::make_shared<std::vector<std::byte>>(static_cast<std::size_t>(tb.spt) *
+                                                         disk::kSectorSize);
+      cache.emplace(std::make_pair(u, t), std::move(tb));
+      total += geom.spt_of_track(t);
+    }
+    tracks_streamed += tracks.size();
+    const disk::Lba base = geom.first_lba_of_track(tracks.front());
+    auto image = std::make_shared<std::vector<std::byte>>(static_cast<std::size_t>(total) *
+                                                          disk::kSectorSize);
+    std::span<std::byte> out(*image);
+    issue_read(u, base, total, out, image,
+               [this, u, tracks = std::move(tracks), image, total] {
+                 if (m.obs_ != nullptr) {
+                   m.obs_->metrics.counter(m.metric_prefix_ + "recovery.stream_commands").inc();
+                   m.obs_->metrics.counter(m.metric_prefix_ + "recovery.stream_sectors")
+                       .inc(total);
+                 }
+                 std::size_t off = 0;
+                 for (const disk::TrackId t : tracks) {
+                   const auto ct = cache.find(std::make_pair(u, t));
+                   if (ct != cache.end()) {
+                     std::memcpy(ct->second.data->data(), image->data() + off,
+                                 ct->second.data->size());
+                     ct->second.ready = true;
+                   }
+                   off += static_cast<std::size_t>(
+                              m.units_[u].device->geometry().spt_of_track(t)) *
+                          disk::kSectorSize;
+                 }
+                 resume_streaming();
+               });
+  }
 
-void RecoveryManager::write_back(const std::vector<RecoveredRecord>& pending,
-                                 RecoveryStats& stats) {
-  if (pending.empty()) return;
-  if (!data_write_) throw std::logic_error("recovery: write-back requested without DataWriteFn");
-  const sim::TimePoint wb_start = sim_.now();
-  obs::ScopedSpan wb_span(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.writeback",
-                          "recovery", tid_);
-  for (const RecoveredRecord& rec : pending) {
-    // Direct-log records have no data-disk home; the mounting driver
-    // re-adopts them and the client replays from their payloads.
-    if (rec.header.entries[0].data_major == kDirectLogMajor) continue;
-    // Group entries into contiguous runs per device.
-    std::uint32_t i = 0;
-    while (i < rec.header.batch_size) {
+  void finish_rebuild() {
+    std::reverse(chain.begin(), chain.end());  // ascending key
+    outcome.stats.records_found = static_cast<std::uint32_t>(chain.size());
+    outcome.stats.rebuild_time = m.sim_.now() - rebuild_start;
+    rebuild_span->finish();
+    outcome.pending = std::move(chain);
+    if (m.obs_ != nullptr) {
+      m.obs_->metrics.counter(m.metric_prefix_ + "recovery.records_found")
+          .inc(outcome.stats.records_found);
+      // Leave a flight-recorder trail of what was rebuilt: one summary per
+      // recovered record (id = sequence, shard = log unit), flagged
+      // kFlagRecovered so a post-recovery dump separates replay from new
+      // traffic.
+      for (const RecoveredRecord& rec : outcome.pending) {
+        obs::FlightRecord fr;
+        fr.id = rec.header.sequence_id;
+        fr.shard = rec.log_unit;
+        fr.sectors = rec.header.batch_size;
+        fr.flags = obs::FlightRecord::kFlagRecovered;
+        fr.submit_ns = m.sim_.now().ns();
+        m.obs_->flight.push(fr);
+      }
+    }
+    if (opts.write_back && !outcome.pending.empty()) {
+      m.write_back_async(&outcome.pending, &outcome.stats, depth,
+                         [self = shared_from_this()] { self->complete(); });
+    } else {
+      complete();
+    }
+  }
+
+  void complete() {
+    auto d = std::move(done);
+    Outcome out = std::move(outcome);
+    m.pipe_.reset();  // the caller's shared_ptr keeps us alive through d()
+    d(std::move(out));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Write-back pipeline (phase 3).
+// ---------------------------------------------------------------------------
+struct RecoveryManager::WbState : std::enable_shared_from_this<RecoveryManager::WbState> {
+  explicit WbState(RecoveryManager& mgr) : m(mgr) {}
+
+  RecoveryManager& m;
+  const std::vector<RecoveredRecord>* pending = nullptr;
+  RecoveryStats* stats = nullptr;
+  std::function<void()> done;
+  sim::TimePoint wb_start{};
+  std::optional<obs::ScopedSpan> span;
+  bool failed = false;
+  bool finished = false;
+
+  // depth == 1: sequential replay in record order (the serial baseline)
+  std::size_t rec = 0;
+  std::uint32_t entry = 0;
+
+  // depth >= 2: concurrent overlay runs
+  std::size_t outstanding = 0;
+  bool submitted_all = false;
+
+  void step_serial() {
+    const std::vector<RecoveredRecord>& recs = *pending;
+    while (rec < recs.size()) {
+      const RecoveredRecord& r = recs[rec];
+      // Direct-log records have no data-disk home; the mounting driver
+      // re-adopts them and the client replays from their payloads.
+      if (r.header.entries[0].data_major == kDirectLogMajor || entry >= r.header.batch_size) {
+        ++rec;
+        entry = 0;
+        continue;
+      }
+      // Group entries into contiguous runs per device.
+      const std::uint32_t i = entry;
       std::uint32_t j = i + 1;
-      const RecordEntry& e0 = rec.header.entries[i];
-      while (j < rec.header.batch_size) {
-        const RecordEntry& e = rec.header.entries[j];
+      const RecordEntry& e0 = r.header.entries[i];
+      while (j < r.header.batch_size) {
+        const RecordEntry& e = r.header.entries[j];
         if (e.data_major != e0.data_major || e.data_minor != e0.data_minor ||
             e.data_lba != e0.data_lba + (j - i))
           break;
         ++j;
       }
       const std::span<const std::byte> run(
-          rec.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
+          r.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize,
           static_cast<std::size_t>(j - i) * disk::kSectorSize);
-      bool done = false;
-      data_write_(io::DeviceId{e0.data_major, e0.data_minor}, e0.data_lba, run,
-                  [&] { done = true; });
-      while (!done) {
-        if (!sim_.step()) throw std::runtime_error("recovery: simulation stalled");
-      }
-      stats.sectors_written_back += j - i;
-      i = j;
+      m.data_write_(io::DeviceId{e0.data_major, e0.data_minor}, e0.data_lba, run,
+                    [self = shared_from_this(), j] {
+                      if (self->failed) return;
+                      self->stats->sectors_written_back += j - self->entry;
+                      self->entry = j;
+                      self->step_serial();
+                    });
+      return;
     }
+    finish();
   }
-  stats.writeback_time += sim_.now() - wb_start;
+
+  void start_overlapped() {
+    // Newest-content overlay: `pending` is ascending by key, so a later
+    // record's sector image supersedes an earlier one's — each data
+    // sector is written exactly once, with its final content.
+    std::map<std::uint16_t, std::map<disk::Lba, const std::byte*>> latest;
+    std::map<std::uint16_t, io::DeviceId> ids;
+    for (const RecoveredRecord& r : *pending) {
+      if (r.header.entries[0].data_major == kDirectLogMajor) continue;
+      for (std::uint32_t i = 0; i < r.header.batch_size; ++i) {
+        const RecordEntry& e = r.header.entries[i];
+        const io::DeviceId dev(e.data_major, e.data_minor);
+        ids.emplace(dev.index(), dev);
+        latest[dev.index()][e.data_lba] =
+            r.payload.data() + static_cast<std::size_t>(i) * disk::kSectorSize;
+      }
+    }
+    // Carve contiguous runs and snapshot them (the DataWriteFn may defer
+    // the actual device write past `pending`'s lifetime).
+    struct Run {
+      io::DeviceId dev;
+      disk::Lba lba = 0;
+      std::shared_ptr<std::vector<std::byte>> image;
+    };
+    std::vector<Run> runs;
+    for (auto& [devidx, sectors] : latest) {
+      auto it = sectors.begin();
+      while (it != sectors.end()) {
+        Run run;
+        run.dev = ids.at(devidx);
+        run.lba = it->first;
+        run.image = std::make_shared<std::vector<std::byte>>();
+        disk::Lba next = it->first;
+        while (it != sectors.end() && it->first == next) {
+          run.image->insert(run.image->end(), it->second, it->second + disk::kSectorSize);
+          ++next;
+          ++it;
+        }
+        runs.push_back(std::move(run));
+      }
+    }
+    if (runs.empty()) {
+      finish();
+      return;
+    }
+    outstanding = runs.size();
+    for (Run& run : runs) {
+      stats->sectors_written_back += run.image->size() / disk::kSectorSize;
+      m.data_write_(run.dev, run.lba, std::span<const std::byte>(*run.image),
+                    [self = shared_from_this(), image = run.image] {
+                      if (self->failed) return;
+                      --self->outstanding;
+                      if (self->outstanding == 0 && self->submitted_all) self->finish();
+                    });
+    }
+    submitted_all = true;
+    if (outstanding == 0) finish();
+  }
+
+  void finish() {
+    if (finished) return;
+    finished = true;
+    stats->writeback_time += m.sim_.now() - wb_start;
+    if (span) span->finish();
+    auto d = std::move(done);
+    m.wb_.reset();  // the caller's shared_ptr keeps us alive through d()
+    d();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+
+// The pipelines reference the manager back; if the manager dies with reads
+// or writes still in flight, the orphaned completions (which keep the
+// state blocks alive via shared_ptr) must become no-ops.
+RecoveryManager::~RecoveryManager() {
+  if (pipe_) pipe_->failed = true;
+  if (wb_) wb_->failed = true;
+}
+
+void RecoveryManager::start(std::uint32_t target_epoch, const Options& options,
+                            std::function<void(Outcome)> done) {
+  pipe_ = std::make_shared<Pipe>(*this);
+  Pipe& p = *pipe_;
+  p.target_epoch = target_epoch;
+  p.opts = options;
+  p.depth = std::max<std::uint32_t>(1, options.pipeline_depth);
+  p.streaming = p.depth >= 2;
+  p.done = std::move(done);
+  // Recreate the read queues per start: a previous aborted recovery may
+  // have left dead entries (whose weak Pipe references no longer lock).
+  read_queues_.clear();
+  for (Unit& unit : units_)
+    read_queues_.push_back(
+        std::make_unique<io::DeviceQueue>(*unit.device, io::make_clook_scheduler()));
+  if (obs_ != nullptr)
+    obs_->metrics.gauge(metric_prefix_ + "recovery.pipeline_depth").set(p.depth);
+  p.start_locate();
+}
+
+RecoveryManager::Outcome RecoveryManager::run(std::uint32_t target_epoch,
+                                              const Options& options) {
+  std::optional<Outcome> result;
+  start(target_epoch, options, [&](Outcome outcome) { result.emplace(std::move(outcome)); });
+  while (!result) {
+    if (!sim_.step()) throw std::runtime_error("RecoveryManager: simulation stalled");
+  }
+  return std::move(*result);
+}
+
+void RecoveryManager::write_back_async(const std::vector<RecoveredRecord>* pending,
+                                       RecoveryStats* stats, std::uint32_t pipeline_depth,
+                                       std::function<void()> done) {
+  if (pending->empty()) {
+    done();
+    return;
+  }
+  if (!data_write_) throw std::logic_error("recovery: write-back requested without DataWriteFn");
+  wb_ = std::make_shared<WbState>(*this);
+  WbState& w = *wb_;
+  w.pending = pending;
+  w.stats = stats;
+  w.done = std::move(done);
+  w.wb_start = sim_.now();
+  w.span.emplace(obs_ != nullptr ? &obs_->tracer : nullptr, "recovery.writeback", "recovery",
+                 tid_);
+  if (pipeline_depth <= 1)
+    w.step_serial();
+  else
+    w.start_overlapped();
+}
+
+void RecoveryManager::write_back(const std::vector<RecoveredRecord>& pending,
+                                 RecoveryStats& stats, std::uint32_t pipeline_depth) {
+  bool done = false;
+  write_back_async(&pending, &stats, pipeline_depth, [&] { done = true; });
+  while (!done) {
+    if (!sim_.step()) throw std::runtime_error("recovery: simulation stalled");
+  }
 }
 
 }  // namespace trail::core

@@ -13,8 +13,7 @@
 //
 //  2. REBUILD the pending-record set: walk prev_sect back from the
 //     youngest record — across log disks via encoded log pointers — no
-//     further than the youngest record's log_head bound, reading each
-//     record's header and payload in one windowed access. Torn tail
+//     further than the youngest record's log_head bound. Torn tail
 //     records (payload CRC mismatch — possible only for unacknowledged
 //     final physical writes) are dropped.
 //
@@ -22,10 +21,22 @@
 //     order. Optional (Fig. 4b): the driver may instead adopt the records
 //     as live state and resume service immediately, since a persistent
 //     copy already exists on the log disk.
+//
+// All three phases run as a bounded-depth asynchronous pipeline
+// (DESIGN.md §12). Reads go through a per-unit io::DeviceQueue so the
+// elevator can order the outstanding window; with pipeline_depth >= 2
+// the locate phase keeps a sliding window of anchor probes in flight,
+// the rebuild phase streams the live arc with whole-track reads parsed
+// out of a read-ahead cache, and the write-back phase dispatches
+// deduplicated contiguous runs concurrently. pipeline_depth == 1
+// reproduces the historical serial recovery command-for-command and is
+// the equivalence baseline: both depths must recover identical pending
+// sets and leave byte-identical images.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +46,10 @@
 #include "io/block.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
+
+namespace trail::io {
+class DeviceQueue;
+}
 
 namespace trail::core {
 
@@ -77,6 +92,14 @@ class RecoveryManager {
     bool sequential_locate = false;
     /// Probes used to find a binary-search anchor before falling back.
     std::uint32_t anchor_probes = 64;
+    /// Bounded in-flight read window per log unit. 1 reproduces the
+    /// pre-pipeline serial recovery command-for-command (the equivalence
+    /// baseline); >= 2 overlaps anchor probes, streams the rebuild arc
+    /// with whole-track reads, and overlaps write-back runs.
+    std::uint32_t pipeline_depth = 8;
+    /// Rebuild read-ahead budget in sectors per demand miss
+    /// (0 = auto: pipeline_depth whole tracks).
+    std::uint32_t readahead_sectors = 0;
   };
 
   /// Writes one payload run to a data disk; invoke the completion when
@@ -86,6 +109,7 @@ class RecoveryManager {
 
   RecoveryManager(sim::Simulator& sim, std::vector<disk::DiskDevice*> log_disks,
                   DataWriteFn data_write);
+  ~RecoveryManager();
 
   /// Optional observability: per-phase spans ("recovery.locate" /
   /// "recovery.rebuild" / "recovery.writeback"), a per-track-scan probe
@@ -98,6 +122,11 @@ class RecoveryManager {
     metric_prefix_ = std::move(metric_prefix);
     tid_ = tid;
   }
+
+  /// Late-bind the phase-3 sink (a driver's mount_begin runs locate +
+  /// rebuild without one; its mount_finish wires the data queues in
+  /// before replaying the survivors).
+  void set_data_write(DataWriteFn data_write) { data_write_ = std::move(data_write); }
 
   struct Outcome {
     RecoveryStats stats;
@@ -112,16 +141,33 @@ class RecoveryManager {
   /// (recovery owns the machine at boot).
   Outcome run(std::uint32_t target_epoch, const Options& options);
 
+  /// Asynchronous form of run(): starts the pipeline and returns; `done`
+  /// fires (from a device completion) when the selected phases finish.
+  /// Never steps the simulator itself, so a sharded mount can start every
+  /// shard's recovery and let them interleave on virtual time.
+  void start(std::uint32_t target_epoch, const Options& options,
+             std::function<void(Outcome)> done);
+
   /// Phase 3 alone: write `pending` back to the data disks in order,
   /// accumulating into `stats`. Public so a sharded mount can locate +
   /// rebuild on every shard first (run with write_back=false), apply the
   /// cross-shard consistency cut, and only then write back the survivors.
-  void write_back(const std::vector<RecoveredRecord>& pending, RecoveryStats& stats);
+  void write_back(const std::vector<RecoveredRecord>& pending, RecoveryStats& stats,
+                  std::uint32_t pipeline_depth = 1);
+
+  /// Asynchronous phase 3. With pipeline_depth >= 2 the records collapse
+  /// into a newest-content overlay first (each sector written once) and
+  /// the resulting contiguous runs dispatch concurrently through the
+  /// DataWriteFn; depth 1 replays runs one at a time in record order,
+  /// exactly like the serial path. `pending` and `stats` must stay alive
+  /// until `done` fires.
+  void write_back_async(const std::vector<RecoveredRecord>* pending, RecoveryStats* stats,
+                        std::uint32_t pipeline_depth, std::function<void()> done);
 
  private:
   struct Unit {
     disk::DiskDevice* device = nullptr;
-    std::vector<disk::TrackId> usable;  // ring, physical order
+    std::vector<disk::TrackId> usable;  // ring, physical order (ascending)
   };
   struct TrackKey {
     bool present = false;
@@ -129,20 +175,8 @@ class RecoveryManager {
     std::uint8_t unit = 0;
     disk::Lba header_lba = 0;
   };
-
-  /// One full-track read + parse on `unit`; returns the newest
-  /// (epoch <= target) record key on the track.
-  TrackKey scan_track(std::uint8_t unit, std::size_t usable_index, std::uint32_t target_epoch,
-                      RecoveryStats& stats);
-
-  /// Read `count` sectors synchronously from a log unit.
-  void read_sync(std::uint8_t unit, disk::Lba lba, std::uint32_t count,
-                 std::span<std::byte> out);
-
-  [[nodiscard]] TrackKey locate_binary(std::uint8_t unit, std::uint32_t target_epoch,
-                                       RecoveryStats& stats, std::uint32_t anchor_probes);
-  [[nodiscard]] TrackKey locate_sequential(std::uint8_t unit, std::uint32_t target_epoch,
-                                           RecoveryStats& stats);
+  struct Pipe;     // the locate + rebuild pipeline (defined in recovery.cpp)
+  struct WbState;  // the write-back pipeline
 
   sim::Simulator& sim_;
   std::vector<Unit> units_;
@@ -150,6 +184,13 @@ class RecoveryManager {
   obs::Obs* obs_ = nullptr;
   std::string metric_prefix_;
   std::uint32_t tid_ = obs::kRecoveryTid;
+  std::shared_ptr<Pipe> pipe_;
+  std::shared_ptr<WbState> wb_;
+  /// Read queues for the locate/rebuild pipeline. Owned here, not by the
+  /// Pipe: a queue completion may release the last Pipe reference while
+  /// the queue's pump() is still on the stack, so the queue must outlive
+  /// the Pipe.
+  std::vector<std::unique_ptr<io::DeviceQueue>> read_queues_;
 };
 
 }  // namespace trail::core

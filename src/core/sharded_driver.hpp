@@ -63,6 +63,12 @@ struct ShardedConfig {
   /// Gate client acknowledgements on the global commit watermark (see
   /// file comment). Off: acks fire at per-shard durability.
   bool watermark_acks = true;
+  /// Overlap every shard's mount recovery on virtual time (each shard
+  /// owns an independent log disk), so array recovery cost approaches
+  /// the max over shards instead of the sum. Off: shards mount strictly
+  /// one after another (the equivalence baseline). Either way the
+  /// two-phase epoch-floor / consistency-cut protocol is identical.
+  bool overlapped_mount = true;
   /// Template for every shard's TrailDriver (the sequence/durability
   /// hooks are owned by the ShardedDriver and overwritten).
   TrailConfig shard;

@@ -172,116 +172,194 @@ std::uint32_t TrailDriver::oldest_live_ptr_or(std::uint32_t fallback) const {
 void TrailDriver::mount() { mount_finish(mount_begin()); }
 
 TrailDriver::MountPrep TrailDriver::mount_begin() {
-  if (mounted_) throw std::logic_error("TrailDriver: already mounted");
-  if (crashed_) throw std::logic_error("TrailDriver: driver instance crashed; build a new one");
-  if (data_queues_.empty()) throw std::logic_error("TrailDriver: no data disks registered");
-
-  MountPrep prep;
-  // Read every unit's disk header (timed, through the normal command path).
-  prep.headers.resize(units_.size());
-  for (std::size_t u = 0; u < units_.size(); ++u) {
-    std::optional<LogDiskHeader> header;
-    bool have = false;
-    read_disk_header(*units_[u].device, [&](std::optional<LogDiskHeader> h) {
-      header = h;
-      have = true;
-    });
-    run_sim_until([&] { return have; }, "header read");
-    if (!header) throw std::runtime_error("TrailDriver: no valid log disk header replica");
-    prep.headers[u] = *header;
-    prep.crashed |= header->crash_var == 0;
-    prep.max_epoch = std::max(prep.max_epoch, header->epoch);
-  }
-
-  if (prep.crashed) {
-    // The previous epoch did not unmount cleanly: locate + rebuild (§3.3).
-    // Phase 3 (write-back) waits for mount_finish so a sharded mount can
-    // apply its cross-shard cut first.
-    RecoveryManager::Options opts;
-    opts.write_back = false;
-    opts.sequential_locate = config_.recovery_sequential_locate;
-    RecoveryManager recovery(sim_, log_devices(), {});
-    recovery.attach_obs(obs_, scope_.metric_prefix, scope_.recovery_tid);
-    auto outcome = recovery.run(prep.max_epoch, opts);
-    prep.stats = outcome.stats;
-    prep.pending = std::move(outcome.pending);
-  }
-  return prep;
+  std::optional<MountPrep> prep;
+  mount_begin_async([&](MountPrep p) { prep.emplace(std::move(p)); });
+  run_sim_until([&] { return prep.has_value(); }, "mount begin");
+  return std::move(*prep);
 }
 
 void TrailDriver::mount_finish(MountPrep prep, std::uint32_t epoch_floor,
                                std::uint64_t cut_before) {
+  bool done = false;
+  mount_finish_async(std::move(prep), epoch_floor, cut_before, [&] { done = true; });
+  run_sim_until([&] { return done; }, "mount finish");
+}
+
+void TrailDriver::mount_begin_async(std::function<void(MountPrep)> done) {
+  if (mounted_) throw std::logic_error("TrailDriver: already mounted");
+  if (crashed_) throw std::logic_error("TrailDriver: driver instance crashed; build a new one");
+  if (data_queues_.empty()) throw std::logic_error("TrailDriver: no data disks registered");
+
+  struct BeginState {
+    MountPrep prep;
+    std::size_t remaining = 0;
+    bool bad = false;
+    std::function<void(MountPrep)> done;
+  };
+  auto st = std::make_shared<BeginState>();
+  st->prep.headers.resize(units_.size());
+  st->remaining = units_.size();
+  st->done = std::move(done);
+  // Every unit's header read goes out at once (independent spindles,
+  // timed, through the normal command path).
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    read_disk_header(*units_[u].device,
+                     [this, st, u, alive = alive_](std::optional<LogDiskHeader> header) {
+                       if (!*alive) return;
+                       if (!header) {
+                         st->bad = true;
+                       } else {
+                         st->prep.headers[u] = *header;
+                         st->prep.crashed |= header->crash_var == 0;
+                         st->prep.max_epoch = std::max(st->prep.max_epoch, header->epoch);
+                       }
+                       if (--st->remaining > 0) return;
+                       if (st->bad)
+                         throw std::runtime_error(
+                             "TrailDriver: no valid log disk header replica");
+                       finish_mount_begin(std::move(st->prep), std::move(st->done));
+                     });
+  }
+}
+
+void TrailDriver::finish_mount_begin(MountPrep prep, std::function<void(MountPrep)> done) {
+  if (!prep.crashed) {
+    done(std::move(prep));
+    return;
+  }
+  // The previous epoch did not unmount cleanly: locate + rebuild (§3.3).
+  // Phase 3 (write-back) waits for mount_finish so a sharded mount can
+  // apply its cross-shard cut first.
+  RecoveryManager::Options opts;
+  opts.write_back = false;
+  opts.sequential_locate = config_.recovery_sequential_locate;
+  opts.pipeline_depth = config_.recovery_pipeline_depth;
+  opts.readahead_sectors = config_.recovery_readahead_sectors;
+  recovery_ =
+      std::make_unique<RecoveryManager>(sim_, log_devices(), RecoveryManager::DataWriteFn{});
+  recovery_->attach_obs(obs_, scope_.metric_prefix, scope_.recovery_tid);
+  auto shared_prep = std::make_shared<MountPrep>(std::move(prep));
+  recovery_->start(shared_prep->max_epoch, opts,
+                   [shared_prep, done = std::move(done),
+                    alive = alive_](RecoveryManager::Outcome outcome) mutable {
+                     if (!*alive) return;
+                     shared_prep->stats = outcome.stats;
+                     shared_prep->pending = std::move(outcome.pending);
+                     done(std::move(*shared_prep));
+                   });
+}
+
+struct TrailDriver::MountFinishState {
+  MountPrep prep;
+  std::uint32_t epoch_floor = 0;
+  std::uint64_t cut_before = ~std::uint64_t{0};
+  std::function<void()> done;
+  std::vector<std::optional<disk::TrackId>> resume_after;
+  std::vector<RecoveredRecord> kept;
+  std::vector<std::pair<std::uint8_t, disk::Lba>> cuts;  // headers to erase
+  std::size_t cut_idx = 0;
+  std::size_t stamp_idx = 0;
+  std::size_t pos_idx = 0;
+};
+
+void TrailDriver::mount_finish_async(MountPrep prep, std::uint32_t epoch_floor,
+                                     std::uint64_t cut_before, std::function<void()> done) {
   if (mounted_) throw std::logic_error("TrailDriver: already mounted");
 
-  std::vector<std::optional<disk::TrackId>> resume_after(units_.size());
-  last_recovery_ = prep.stats;
+  auto st = std::make_shared<MountFinishState>();
+  st->prep = std::move(prep);
+  st->epoch_floor = epoch_floor;
+  st->cut_before = cut_before;
+  st->done = std::move(done);
+  st->resume_after.resize(units_.size());
+  last_recovery_ = st->prep.stats;
 
-  if (!prep.pending.empty()) {
+  if (!st->prep.pending.empty()) {
     // Continue each unit's ring after its own youngest record — cut
     // records included: their tracks were stamped with keys of the
     // crashed epoch, so resuming before them would break the circular key
     // monotonicity the recovery binary search relies on.
-    for (const RecoveredRecord& rec : prep.pending)
-      resume_after[rec.log_unit] = rec.track;  // ascending: ends at newest per unit
+    for (const RecoveredRecord& rec : st->prep.pending)
+      st->resume_after[rec.log_unit] = rec.track;  // ascending: ends at newest per unit
 
-    // Apply the consistency cut: records at or above cut_before are
-    // discarded. Erase their header sectors so a future recovery cannot
-    // locate them as the youngest record and resurrect writes this mount
-    // decided never happened.
-    std::vector<RecoveredRecord> kept;
-    for (RecoveredRecord& rec : prep.pending) {
+    // Partition on the consistency cut: records at or above cut_before
+    // are discarded. Their header sectors are erased so a future recovery
+    // cannot locate them as the youngest record and resurrect writes this
+    // mount decided never happened.
+    for (RecoveredRecord& rec : st->prep.pending) {
       if (record_key(rec.header) >= cut_before) {
         ++last_recovery_.records_cut;
-        LogUnit& unit = units_.at(rec.log_unit);
-        unit.scratch.fill(std::byte{0});
-        bool erased = false;
-        unit.device->write(rec.header_lba, 1, unit.scratch, [&] { erased = true; });
-        run_sim_until([&] { return erased; }, "cut-record erase");
+        st->cuts.emplace_back(rec.log_unit, rec.header_lba);
       } else {
-        kept.push_back(std::move(rec));
+        st->kept.push_back(std::move(rec));
       }
-    }
-
-    if (!kept.empty()) {
-      // Chain the global prev pointer after the youngest kept record.
-      const RecoveredRecord& youngest = kept.back();
-      last_record_ptr_ =
-          encode_log_ptr(youngest.log_unit, static_cast<std::uint32_t>(youngest.header_lba));
-      if (config_.recovery_write_back) {
-        // Deferred recovery phase 3 for the surviving block records.
-        RecoveryManager recovery(
-            sim_, log_devices(),
-            [this](io::DeviceId dev, disk::Lba lba, std::span<const std::byte> data,
-                   std::function<void()> done) {
-              io::PendingIo io;
-              io.is_write = true;
-              io.lba = lba;
-              io.count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
-              io.data.assign(data.begin(), data.end());
-              io.priority = 0;
-              io.on_complete = std::move(done);
-              data_queue(dev).submit(std::move(io));
-            });
-        recovery.attach_obs(obs_, scope_.metric_prefix, scope_.recovery_tid);
-        recovery.write_back(kept, last_recovery_);
-      }
-      // Direct-log records are always adopted (the client replays from
-      // them and later releases); block records follow the policy.
-      std::vector<RecoveredRecord> adopt;
-      for (RecoveredRecord& rec : kept) {
-        const bool direct = rec.header.entries[0].data_major == kDirectLogMajor;
-        if (direct) {
-          recovered_direct_.push_back(rec);  // keep a copy for the client
-          adopt.push_back(std::move(rec));
-        } else if (!config_.recovery_write_back) {
-          adopt.push_back(std::move(rec));
-        }
-      }
-      if (!adopt.empty()) adopt_recovered(std::move(adopt));
     }
   }
+  mf_erase_cut(std::move(st));
+}
 
-  epoch_ = std::max(prep.max_epoch, epoch_floor) + 1;
+void TrailDriver::mf_erase_cut(std::shared_ptr<MountFinishState> st) {
+  if (st->cut_idx == st->cuts.size()) {
+    mf_after_cut(std::move(st));
+    return;
+  }
+  const auto [u, header_lba] = st->cuts[st->cut_idx++];
+  LogUnit& unit = units_.at(u);
+  unit.scratch.fill(std::byte{0});
+  unit.device->write(header_lba, 1, unit.scratch,
+                     [this, st = std::move(st), alive = alive_]() mutable {
+                       if (!*alive) return;
+                       mf_erase_cut(std::move(st));
+                     });
+}
+
+void TrailDriver::mf_after_cut(std::shared_ptr<MountFinishState> st) {
+  if (st->kept.empty()) {
+    mf_adopt(std::move(st));
+    return;
+  }
+  // Chain the global prev pointer after the youngest kept record.
+  const RecoveredRecord& youngest = st->kept.back();
+  last_record_ptr_ =
+      encode_log_ptr(youngest.log_unit, static_cast<std::uint32_t>(youngest.header_lba));
+  if (config_.recovery_write_back) {
+    // Deferred recovery phase 3 for the surviving block records. The
+    // manager usually already exists (mount_begin's recovery); a direct
+    // mount_finish with an externally built prep creates it here.
+    if (!recovery_) {
+      recovery_ =
+          std::make_unique<RecoveryManager>(sim_, log_devices(), RecoveryManager::DataWriteFn{});
+      recovery_->attach_obs(obs_, scope_.metric_prefix, scope_.recovery_tid);
+    }
+    recovery_->set_data_write(make_recovery_data_write());
+    recovery_->write_back_async(&st->kept, &last_recovery_, config_.recovery_pipeline_depth,
+                                [this, st, alive = alive_]() mutable {
+                                  if (!*alive) return;
+                                  mf_adopt(std::move(st));
+                                });
+    return;
+  }
+  mf_adopt(std::move(st));
+}
+
+void TrailDriver::mf_adopt(std::shared_ptr<MountFinishState> st) {
+  if (!st->kept.empty()) {
+    // Direct-log records are always adopted (the client replays from
+    // them and later releases); block records follow the policy.
+    std::vector<RecoveredRecord> adopt;
+    for (RecoveredRecord& rec : st->kept) {
+      const bool direct = rec.header.entries[0].data_major == kDirectLogMajor;
+      if (direct) {
+        recovered_direct_.push_back(rec);  // keep a copy for the client
+        adopt.push_back(std::move(rec));
+      } else if (!config_.recovery_write_back) {
+        adopt.push_back(std::move(rec));
+      }
+    }
+    if (!adopt.empty()) adopt_recovered(std::move(adopt));
+  }
+
+  epoch_ = std::max(st->prep.max_epoch, st->epoch_floor) + 1;
   next_seq_ = 1;
 
   // Position each unit's allocator tail so stamping continues around its
@@ -292,28 +370,91 @@ void TrailDriver::mount_finish(MountPrep prep, std::uint32_t epoch_floor,
   // monotonicity the recovery binary search relies on.
   for (std::size_t u = 0; u < units_.size(); ++u) {
     LogUnit& unit = units_[u];
-    if (resume_after[u]) {
-      unit.allocator->set_tail_after(*resume_after[u]);
-    } else if (!unit.allocator->is_reserved(prep.headers[u].resume_track) &&
-               prep.headers[u].resume_track < unit.device->geometry().track_count()) {
-      unit.allocator->set_tail(prep.headers[u].resume_track);
+    if (st->resume_after[u]) {
+      unit.allocator->set_tail_after(*st->resume_after[u]);
+    } else if (!unit.allocator->is_reserved(st->prep.headers[u].resume_track) &&
+               st->prep.headers[u].resume_track < unit.device->geometry().track_count()) {
+      unit.allocator->set_tail(st->prep.headers[u].resume_track);
     }
   }
+  mf_stamp(std::move(st));
+}
 
-  // Stamp the new epoch as mounted (crash_var = 0) on every unit.
-  for (LogUnit& unit : units_) {
-    bool stamped = false;
-    write_disk_headers(*unit.device, LogDiskHeader{epoch_, 0, unit.allocator->current()},
-                       [&] { stamped = true; });
-    run_sim_until([&] { return stamped; }, "mount header write");
+// Stamp the new epoch as mounted (crash_var = 0) on every unit.
+void TrailDriver::mf_stamp(std::shared_ptr<MountFinishState> st) {
+  if (st->stamp_idx == units_.size()) {
+    mf_position(std::move(st));
+    return;
   }
+  LogUnit& unit = units_[st->stamp_idx++];
+  write_disk_headers(*unit.device, LogDiskHeader{epoch_, 0, unit.allocator->current()},
+                     [this, st = std::move(st), alive = alive_]() mutable {
+                       if (!*alive) return;
+                       mf_stamp(std::move(st));
+                     });
+}
 
-  position_heads_initial();
-  mounted_ = true;
-  arm_idle_timer();
+void TrailDriver::mf_position(std::shared_ptr<MountFinishState> st) {
+  if (st->pos_idx == units_.size()) {
+    mounted_ = true;
+    arm_idle_timer();
 #if defined(TRAIL_AUDIT)
-  quiesce_audit("mount");
+    quiesce_audit("mount");
 #endif
+    auto done = std::move(st->done);
+    done();
+    return;
+  }
+  const std::size_t u = st->pos_idx++;
+  LogUnit& unit = units_[u];
+  const disk::TrackId track = unit.allocator->current();
+  const disk::Lba lba = unit.device->geometry().first_lba_of_track(track);
+  unit.device->read(lba, 1, unit.scratch,
+                    [this, st = std::move(st), u, track, alive = alive_]() mutable {
+                      if (!*alive) return;
+                      units_[u].predictor->set_reference(sim_.now(), track, 0);
+                      mf_position(std::move(st));
+                    });
+}
+
+RecoveryManager::DataWriteFn TrailDriver::make_recovery_data_write() {
+  if (config_.recovery_pipeline_depth <= 1) {
+    // Serial baseline: plain priority-0 writes, one awaited at a time.
+    return [this](io::DeviceId dev, disk::Lba lba, std::span<const std::byte> data,
+                  std::function<void()> done) {
+      io::PendingIo io;
+      io.is_write = true;
+      io.lba = lba;
+      io.count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
+      io.data.assign(data.begin(), data.end());
+      io.priority = 0;
+      io.on_complete = std::move(done);
+      data_queue(dev).submit(std::move(io));
+    };
+  }
+  // Pipelined: single-range priority-1 batches, so the write-back
+  // scheduler coalesces adjacent recovery runs into one device command
+  // and CSCAN-orders the sweep across the platter.
+  return [this](io::DeviceId dev, disk::Lba lba, std::span<const std::byte> data,
+                std::function<void()> done) {
+    const auto count = static_cast<std::uint32_t>(data.size() / disk::kSectorSize);
+    auto image = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+    io::PendingIo io;
+    io.is_write = true;
+    io.lba = lba;
+    io.count = count;
+    io.priority = 1;
+    io.merge_cap = std::max<std::uint32_t>(config_.max_writeback_ranges, 1);
+    io::PendingIo::WbRange range;
+    range.lba = lba;
+    range.count = count;
+    range.fill = [image](std::span<std::byte> out) {
+      std::memcpy(out.data(), image->data(), image->size());
+    };
+    range.done = std::move(done);
+    io.ranges.push_back(std::move(range));
+    data_queue(dev).submit(std::move(io));
+  };
 }
 
 void TrailDriver::run_audit(audit::Report& report, bool quiescent) const {

@@ -80,6 +80,15 @@ struct TrailConfig {
   bool recovery_write_back = true;
   /// Force the O(N) sequential locate during recovery (ablation).
   bool recovery_sequential_locate = false;
+  /// Bounded in-flight read window per log unit during recovery
+  /// (RecoveryManager::Options::pipeline_depth). 1 reproduces the serial
+  /// one-command-at-a-time recovery exactly; >= 2 overlaps locate probes,
+  /// streams the rebuild arc with whole-track reads, and dispatches
+  /// write-back runs through the batched CSCAN scheduler.
+  std::uint32_t recovery_pipeline_depth = 8;
+  /// Rebuild read-ahead budget in sectors per demand miss
+  /// (0 = auto: recovery_pipeline_depth whole tracks).
+  std::uint32_t recovery_readahead_sectors = 0;
   /// Write-back pacing (dirty high-watermark): when > 0, a data disk whose
   /// queue holds *only* write-back work defers dispatch until at least
   /// this many dirty sectors are queued, so bursts accumulate more
@@ -211,6 +220,17 @@ class TrailDriver final : public io::BlockDriver {
   /// with crash_var = 0, and position the heads.
   void mount_finish(MountPrep prep, std::uint32_t epoch_floor = 0,
                     std::uint64_t cut_before = ~std::uint64_t{0});
+
+  // ---- asynchronous two-phase mount (overlapped sharded recovery) ----
+  // Same semantics as mount_begin/mount_finish, but never steps the
+  // simulator: `done` fires from a device completion when the phase
+  // finishes. A ShardedDriver starts every shard's mount_begin_async at
+  // once so all shards' recovery reads interleave on virtual time and
+  // array recovery cost approaches max-over-shards; the sync forms are
+  // these plus a local spin.
+  void mount_begin_async(std::function<void(MountPrep)> done);
+  void mount_finish_async(MountPrep prep, std::uint32_t epoch_floor, std::uint64_t cut_before,
+                          std::function<void()> done);
 
   /// Clean shutdown: drain every pending write-back, then stamp
   /// crash_var = 1. Drives the simulator until complete.
@@ -399,6 +419,23 @@ class TrailDriver final : public io::BlockDriver {
     return devices;
   }
   void run_sim_until(const std::function<bool()>& done, const char* what);
+  /// mount_begin_async tail: run recovery (phases 1–2) when a crash was
+  /// detected, then hand the finished prep to `done`.
+  void finish_mount_begin(MountPrep prep, std::function<void(MountPrep)> done);
+  /// mount_finish_async stages, continuation-passing over one shared
+  /// state block: erase cut headers -> write back / adopt survivors ->
+  /// stamp epoch headers -> position heads -> done.
+  struct MountFinishState;
+  void mf_erase_cut(std::shared_ptr<MountFinishState> st);
+  void mf_after_cut(std::shared_ptr<MountFinishState> st);
+  void mf_adopt(std::shared_ptr<MountFinishState> st);
+  void mf_stamp(std::shared_ptr<MountFinishState> st);
+  void mf_position(std::shared_ptr<MountFinishState> st);
+  /// Phase-3 sink bound to the data-disk queues. Depth 1 submits plain
+  /// priority-0 writes (the serial baseline); depth >= 2 submits
+  /// single-range priority-1 batches so the PR-5 write-back scheduler
+  /// coalesces adjacent runs and CSCAN-orders the sweep.
+  [[nodiscard]] RecoveryManager::DataWriteFn make_recovery_data_write();
   /// TRAIL_AUDIT hook: run_audit(quiescent=true), dump counters into the
   /// attached metrics, throw on errors.
   void quiesce_audit(const char* where) const;
@@ -437,6 +474,11 @@ class TrailDriver final : public io::BlockDriver {
   std::uint64_t wb_queued_ranges_ = 0;
   RecoveryStats last_recovery_;
   std::vector<RecoveredRecord> recovered_direct_;
+  /// The mount's recovery pipeline. Owned by the driver (not a stack
+  /// local) because the async mount returns to the simulator while the
+  /// pipeline has reads in flight; kept until the next mount or
+  /// destruction so late completions stay valid.
+  std::unique_ptr<RecoveryManager> recovery_;
   sim::EventId idle_timer_;
 
   // Observability (optional; null when unattached). Histogram/gauge

@@ -35,7 +35,18 @@ bool Simulator::cancel(EventId id) {
   s.armed = false;
   s.fn = nullptr;  // release captures promptly; the queue entry is POD
   ++cancelled_count_;
+  // Cancel-heavy workloads (timeout wheels, re-armed idle timers) would
+  // otherwise fill the heap with dead entries that every later push and
+  // pop still sifts through. Once the dead at least match the live,
+  // sweep them out in one O(n) pass; the amortized cost per cancel is
+  // O(1) and dispatch order is untouched ((when, seq) is total).
+  if (cancelled_count_ >= 64 && cancelled_count_ * 2 >= queue_.size()) compact_queue();
   return true;
+}
+
+void Simulator::compact_queue() {
+  queue_.compact([this](const Event& e) { return slots_[e.slot].armed; },
+                 [this](const Event& e) { retire_cancelled(e.slot); });
 }
 
 void Simulator::retire_cancelled(std::uint32_t slot) {

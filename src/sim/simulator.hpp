@@ -120,8 +120,29 @@ class Simulator {
     void pop() {
       v_.front() = v_.back();
       v_.pop_back();
-      if (v_.empty()) return;
-      std::size_t i = 0;
+      if (!v_.empty()) sift_down(0);
+    }
+
+    /// Drop every entry failing `keep` in one O(n) sweep, then re-heapify
+    /// (Floyd's bottom-up pass). `removed` sees each dropped entry. Since
+    /// (when, seq) is a strict total order, rebuilding the heap can never
+    /// change dispatch order — only the internal shape.
+    template <typename Keep, typename Removed>
+    void compact(Keep&& keep, Removed&& removed) {
+      std::size_t out = 0;
+      for (const Event& e : v_) {
+        if (keep(e))
+          v_[out++] = e;
+        else
+          removed(e);
+      }
+      v_.resize(out);
+      if (v_.size() < 2) return;
+      for (std::size_t i = (v_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+    }
+
+   private:
+    void sift_down(std::size_t i) {
       for (;;) {
         const std::size_t first = 4 * i + 1;
         if (first >= v_.size()) break;
@@ -134,8 +155,6 @@ class Simulator {
         i = best;
       }
     }
-
-   private:
     static bool before(const Event& a, const Event& b) {
       if (a.when != b.when) return a.when < b.when;
       return a.seq < b.seq;
@@ -153,6 +172,8 @@ class Simulator {
   // A popped/surfaced queue entry whose slot is disarmed was cancelled:
   // recycle the slot and fix the pending count.
   void retire_cancelled(std::uint32_t slot);
+  // Sweep cancelled entries out of the heap when they dominate it.
+  void compact_queue();
 
   TimePoint now_{0};
   EventHeap queue_;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <set>
 
+#include "audit/log_verifier.hpp"
 #include "trail_fixture.hpp"
 
 namespace trail::testing {
@@ -353,6 +354,134 @@ TEST_F(RecoveryTest, SplitRequestSupersededMidFlight) {
   std::vector<std::byte> tail(kSectorSize);
   data_disks[0]->store().read(120, 1, tail);
   EXPECT_EQ(std::memcmp(tail.data(), big.data() + 20 * kSectorSize, kSectorSize), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined-recovery equivalence: the depth knob is a pure performance
+// lever. For the same crashed image, depth 8 (streamed reads, batched
+// write-back) must recover the exact same state as depth 1 (the serial
+// reference walk) — same record counts, same surviving keys, and
+// byte-identical disk images.
+// ---------------------------------------------------------------------------
+
+/// Full snapshot of a platter, with unwritten sectors distinguished from
+/// zero-filled ones so image comparison is exact.
+struct DiskSnapshot {
+  std::vector<std::byte> bytes;
+  std::vector<bool> written;
+  bool operator==(const DiskSnapshot&) const = default;
+};
+
+DiskSnapshot snapshot_disk(const disk::DiskDevice& dev) {
+  const disk::Lba total = dev.store().total_sectors();
+  DiskSnapshot snap;
+  snap.bytes.resize(static_cast<std::size_t>(total) * kSectorSize);
+  snap.written.resize(static_cast<std::size_t>(total));
+  for (disk::Lba l = 0; l < total; ++l) {
+    if (!dev.store().is_written(l)) continue;
+    snap.written[static_cast<std::size_t>(l)] = true;
+    dev.store().read(l, 1,
+                     std::span<std::byte>(snap.bytes).subspan(
+                         static_cast<std::size_t>(l) * kSectorSize, kSectorSize));
+  }
+  return snap;
+}
+
+struct EquivOutcome {
+  core::RecoveryStats stats;
+  std::set<std::uint64_t> live_keys;
+  DiskSnapshot log_image;
+  std::vector<DiskSnapshot> data_images;
+};
+
+/// Deterministic workload -> crash -> remount at `depth`; everything up
+/// to the remount is identical across calls, so any divergence in the
+/// outcome is the recovery pipeline's doing.
+EquivOutcome run_equivalence_scenario(std::uint32_t depth, bool write_back) {
+  sim::Simulator sim;
+  const disk::DiskProfile profile = disk::small_test_disk();
+  disk::DiskDevice log_disk(sim, profile);
+  core::format_log_disk(log_disk);
+  std::vector<std::unique_ptr<disk::DiskDevice>> data_disks;
+  for (int i = 0; i < 2; ++i)
+    data_disks.push_back(std::make_unique<disk::DiskDevice>(sim, profile));
+
+  auto pump = [&sim](const bool& flag) {
+    while (!flag)
+      if (!sim.step()) throw std::runtime_error("equivalence scenario stalled");
+  };
+
+  auto driver = std::make_unique<core::TrailDriver>(sim, log_disk, core::TrailConfig{});
+  std::vector<io::DeviceId> devices;
+  for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
+  driver->mount();
+
+  // All writes stay pending (data disks halted), with same-address
+  // rewrites so write-back ordering is observable, then one torn tail.
+  for (auto& d : data_disks) d->crash_halt();
+  for (int i = 0; i < 24; ++i) {
+    bool acked = false;
+    const auto data = make_pattern(2, 1000 + static_cast<std::uint64_t>(i));
+    driver->submit_write({devices[static_cast<std::size_t>(i) % 2],
+                          static_cast<disk::Lba>((i % 6) * 4)},
+                         2, data, [&] { acked = true; });
+    pump(acked);
+  }
+  const auto torn = make_pattern(8, 4242);
+  driver->submit_write({devices[0], 900}, 8, torn, [] {});
+  sim.run_until(sim.now() + profile.command_overhead + profile.sector_time(0) * 3);
+  driver->crash();
+  driver.reset();
+  log_disk.restart();
+  for (auto& d : data_disks) d->restart();
+
+  core::TrailConfig rcfg;
+  rcfg.recovery_pipeline_depth = depth;
+  rcfg.recovery_write_back = write_back;
+  driver = std::make_unique<core::TrailDriver>(sim, log_disk, rcfg);
+  devices.clear();
+  for (auto& d : data_disks) devices.push_back(driver->add_data_disk(*d));
+  driver->mount();
+
+  EquivOutcome out;
+  out.stats = driver->last_recovery();
+  for (const std::uint64_t key : driver->live_record_keys()) out.live_keys.insert(key);
+  out.log_image = snapshot_disk(log_disk);
+  for (auto& d : data_disks) out.data_images.push_back(snapshot_disk(*d));
+  const audit::Report fsck = audit::verify_log(log_disk);
+  EXPECT_TRUE(fsck.ok()) << "depth " << depth << " fsck:\n" << fsck.to_string();
+  driver->unmount();
+  return out;
+}
+
+TEST(RecoveryEquivalence, PipelinedRebuildAndWritebackMatchSerial) {
+  const EquivOutcome serial = run_equivalence_scenario(1, /*write_back=*/true);
+  const EquivOutcome pipelined = run_equivalence_scenario(8, /*write_back=*/true);
+  EXPECT_EQ(serial.stats.records_found, pipelined.stats.records_found);
+  EXPECT_EQ(serial.stats.records_dropped_torn, pipelined.stats.records_dropped_torn);
+  EXPECT_EQ(serial.stats.oldest_torn_key, pipelined.stats.oldest_torn_key);
+  // Batched write-back coalesces superseded versions of the same block,
+  // so it may write FEWER physical sectors — never more, and the final
+  // images (checked below) must still agree.
+  EXPECT_LE(pipelined.stats.sectors_written_back, serial.stats.sectors_written_back);
+  EXPECT_GT(pipelined.stats.sectors_written_back, 0u);
+  EXPECT_EQ(serial.live_keys, pipelined.live_keys);
+  EXPECT_EQ(serial.log_image, pipelined.log_image) << "log images diverged";
+  ASSERT_EQ(serial.data_images.size(), pipelined.data_images.size());
+  for (std::size_t i = 0; i < serial.data_images.size(); ++i)
+    EXPECT_EQ(serial.data_images[i], pipelined.data_images[i])
+        << "data disk " << i << " images diverged";
+}
+
+TEST(RecoveryEquivalence, PipelinedAdoptionMatchesSerial) {
+  // Fig. 4b shape: skip phase 3 so the recovered records are adopted as
+  // pending — the pending set itself must be depth-invariant.
+  const EquivOutcome serial = run_equivalence_scenario(1, /*write_back=*/false);
+  const EquivOutcome pipelined = run_equivalence_scenario(8, /*write_back=*/false);
+  EXPECT_EQ(serial.stats.records_found, pipelined.stats.records_found);
+  EXPECT_EQ(serial.stats.records_dropped_torn, pipelined.stats.records_dropped_torn);
+  EXPECT_EQ(serial.live_keys, pipelined.live_keys);
+  EXPECT_EQ(serial.log_image, pipelined.log_image);
 }
 
 }  // namespace

@@ -160,6 +160,39 @@ TEST(Simulator, ManyInterleavedCancelsStayDeterministic) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(Simulator, HeavyCancellationCompactsQueueAndPreservesOrder) {
+  // Cancelling most of a large queue triggers the O(n) heap compaction
+  // sweep; survivors must still dispatch in exact (when, seq) order and
+  // stale ids of swept-out entries must stay dead.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  constexpr int kEvents = 2000;
+  for (int i = 0; i < kEvents; ++i)
+    ids.push_back(sim.schedule(millis(i % 50), [&order, i] { order.push_back(i); }));
+  // Cancel ~90%: well past the half-dead compaction threshold.
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 10 != 0) {
+      EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+  }
+  EXPECT_EQ(sim.pending_events(), static_cast<std::size_t>(kEvents / 10));
+  // Swept-out entries retired their slots: re-cancel fails, and the ids
+  // cannot kill events that reuse those slots.
+  EXPECT_FALSE(sim.cancel(ids[1]));
+  bool late_fired = false;
+  sim.schedule(millis(60), [&] { late_fired = true; });
+  EXPECT_FALSE(sim.cancel(ids[3]));
+  sim.run();
+  EXPECT_TRUE(late_fired);
+  std::vector<int> expected;
+  for (int t = 0; t < 50; ++t)
+    for (int i = t; i < kEvents; i += 50)
+      if (i % 10 == 0) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int fired = 0;
